@@ -1,0 +1,104 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each bench prints the rows/series of one table or figure from the paper
+// next to the values the paper reports, so the output is self-contained
+// evidence of how well the shape reproduces.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/testbed.hpp"
+
+namespace neat::bench {
+
+using namespace neat::harness;
+
+inline constexpr sim::SimTime kWarmup = 200 * sim::kMillisecond;
+inline constexpr sim::SimTime kMeasure = 300 * sim::kMillisecond;
+
+/// One full NEaT experiment: server machine + configuration -> RunResult.
+struct NeatRun {
+  sim::MachineParams machine = sim::amd_opteron_6168();
+  bool multi{false};
+  int replicas{1};
+  int webs{1};
+  bool xeon_ht{false};          ///< use the HT placements (Xeon only)
+  bool use_xeon_placement{false};
+  int requests_per_conn{100};
+  std::size_t concurrency_per_gen{24};
+  int generators{12};
+  std::string path{"/file20"};
+  std::vector<std::pair<std::string, std::size_t>> files{{"/file20", 20}};
+  std::uint64_t seed{12345};
+  sim::SimTime warmup{kWarmup};
+  sim::SimTime measure{kMeasure};
+};
+
+inline RunResult run_neat(const NeatRun& r) {
+  Testbed::Config cfg;
+  cfg.seed = r.seed;
+  cfg.server_machine = r.machine;
+  Testbed tb(cfg);
+  NeatServerOptions so;
+  so.multi_component = r.multi;
+  so.replicas = r.replicas;
+  so.webs = r.webs;
+  so.files = r.files;
+  if (r.use_xeon_placement) {
+    so.placement = xeon_placement(r.multi, r.replicas, r.webs, r.xeon_ht);
+  }
+  ServerRig server = build_neat_server(tb, so);
+  ClientOptions co;
+  co.generators = r.generators > r.webs ? r.generators : r.webs;
+  co.concurrency_per_gen = r.concurrency_per_gen;
+  co.requests_per_conn = r.requests_per_conn;
+  co.path = r.path;
+  ClientRig client = build_client(tb, co, r.webs);
+  prepopulate_arp(server, client);
+  return run_window(tb, client, r.warmup, r.measure);
+}
+
+struct LinuxRun {
+  sim::MachineParams machine = sim::amd_opteron_6168();
+  baseline::LinuxTuning tuning = baseline::LinuxTuning::best();
+  int webs{12};
+  int requests_per_conn{100};
+  std::size_t concurrency_per_gen{24};
+  int generators{12};
+  std::string path{"/file20"};
+  std::vector<std::pair<std::string, std::size_t>> files{{"/file20", 20}};
+  std::uint64_t seed{12345};
+  sim::SimTime warmup{kWarmup};
+  sim::SimTime measure{kMeasure};
+};
+
+inline RunResult run_linux(const LinuxRun& r) {
+  Testbed::Config cfg;
+  cfg.seed = r.seed;
+  cfg.server_machine = r.machine;
+  Testbed tb(cfg);
+  LinuxServerOptions so;
+  so.tuning = r.tuning;
+  so.webs = r.webs;
+  so.files = r.files;
+  ServerRig server = build_linux_server(tb, so);
+  ClientOptions co;
+  co.generators = r.generators > r.webs ? r.generators : r.webs;
+  co.concurrency_per_gen = r.concurrency_per_gen;
+  co.requests_per_conn = r.requests_per_conn;
+  co.path = r.path;
+  ClientRig client = build_client(tb, co, r.webs);
+  prepopulate_arp(server, client);
+  return run_window(tb, client, r.warmup, r.measure);
+}
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace neat::bench

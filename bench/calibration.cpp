@@ -1,0 +1,89 @@
+// Calibration probe: prints the headline throughput of each stack
+// configuration next to the paper's measured value. Used to tune the cost
+// model in src/neat/costs.hpp and src/baseline/linux.hpp; run it after any
+// cost change. Not one of the paper's tables itself.
+#include <cstdio>
+
+#include "harness/testbed.hpp"
+
+using namespace neat;
+using namespace neat::harness;
+
+namespace {
+
+constexpr sim::SimTime kWarmup = 200 * sim::kMillisecond;
+constexpr sim::SimTime kMeasure = 300 * sim::kMillisecond;
+
+RunResult neat_amd(bool multi, int replicas, int webs) {
+  Testbed::Config cfg;
+  cfg.seed = 12345;
+  Testbed tb(cfg);
+  NeatServerOptions so;
+  so.multi_component = multi;
+  so.replicas = replicas;
+  so.webs = webs;
+  ServerRig server = build_neat_server(tb, so);
+  ClientOptions co;
+  co.generators = 12;
+  co.concurrency_per_gen = 24;
+  ClientRig client = build_client(tb, co, webs);
+  prepopulate_arp(server, client);
+  return run_window(tb, client, kWarmup, kMeasure);
+}
+
+RunResult neat_xeon(bool multi, int replicas, int webs, bool ht) {
+  Testbed::Config cfg;
+  cfg.seed = 12345;
+  cfg.server_machine = sim::intel_xeon_e5520();
+  Testbed tb(cfg);
+  NeatServerOptions so;
+  so.multi_component = multi;
+  so.replicas = replicas;
+  so.webs = webs;
+  so.placement = xeon_placement(multi, replicas, webs, ht);
+  ServerRig server = build_neat_server(tb, so);
+  ClientOptions co;
+  co.generators = 12;
+  co.concurrency_per_gen = 24;
+  ClientRig client = build_client(tb, co, webs);
+  prepopulate_arp(server, client);
+  return run_window(tb, client, kWarmup, kMeasure);
+}
+
+RunResult linux_run(const sim::MachineParams& machine, int webs) {
+  Testbed::Config cfg;
+  cfg.seed = 12345;
+  cfg.server_machine = machine;
+  Testbed tb(cfg);
+  LinuxServerOptions so;
+  so.webs = webs;
+  ServerRig server = build_linux_server(tb, so);
+  ClientOptions co;
+  co.generators = webs > 12 ? webs : 12;
+  co.concurrency_per_gen = 24;
+  ClientRig client = build_client(tb, co, webs);
+  prepopulate_arp(server, client);
+  return run_window(tb, client, kWarmup, kMeasure);
+}
+
+void row(const char* name, double paper, const RunResult& r) {
+  std::printf("%-28s paper=%6.1f krps   measured=%6.1f krps   errs=%llu\n",
+              name, paper, r.krps, (unsigned long long)r.error_conns);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== calibration: headline configurations ===\n");
+  row("AMD  Linux best (12 srv)", 224.0, linux_run(sim::amd_opteron_6168(), 12));
+  row("AMD  NEaT 3x, 6 webs", 302.0, neat_amd(false, 3, 6));
+  row("AMD  NEaT 2x, 5 webs", 250.0, neat_amd(false, 2, 5));
+  row("AMD  Multi 1x, 4 webs", 200.0, neat_amd(true, 1, 4));
+  row("AMD  Multi 2x, 5 webs", 250.0, neat_amd(true, 2, 5));
+  row("Xeon Linux best (16 srv)", 328.0, linux_run(sim::intel_xeon_e5520(), 16));
+  row("Xeon NEaT 4x HT, 9 webs", 372.0, neat_xeon(false, 4, 9, true));
+  row("Xeon Multi 1x, 4 webs", 240.0, neat_xeon(true, 1, 4, false));
+  row("Xeon Multi 2x HT, 8 webs", 322.0, neat_xeon(true, 2, 8, true));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 11: scaling the single-component stack on the Xeon.
+//
+// Series: NEaT 1x / 2x (core-only) and NEaT 1x / 2x / 4x HT (hyper-threaded
+// placements, Figures 8b and 10). Paper landmark: NEaT 4x HT sustains
+// ~372 krps with 9 lighttpd instances — 13.4% above the best Linux result
+// on the same machine (328 krps with 16 lighttpd instances).
+#include "bench_util.hpp"
+
+using namespace neat;
+using namespace neat::bench;
+
+int main() {
+  header("Figure 11: Xeon - scaling the single-component stack [kreq/s]");
+
+  struct Series {
+    const char* name;
+    int replicas;
+    bool ht;
+  };
+  const Series series[] = {
+      {"NEaT 1x", 1, false},  {"NEaT 1x HT", 1, true},
+      {"NEaT 2x", 2, false},  {"NEaT 2x HT", 2, true},
+      {"NEaT 4x HT", 4, true},
+  };
+  const int xs[] = {1, 2, 3, 4, 5, 8, 9};
+
+  std::printf("%-6s", "webs");
+  for (const auto& s : series) std::printf(" %11s", s.name);
+  std::printf("\n");
+
+  for (int webs : xs) {
+    std::printf("%-6d", webs);
+    for (const auto& s : series) {
+      // Budget: ht -> os 1 + drv/sys core 2 + replicas (packed) + webs;
+      // core-only -> os+sys 1, drv 1, one core per replica, webs fill the
+      // rest of the 16 hardware threads.
+      int used_threads;
+      if (s.ht) {
+        used_threads = 1 + 2 + ((s.replicas + 1) / 2) * 2;
+      } else {
+        used_threads = 1 + 1 + 2 * s.replicas;  // dedicated cores (both
+                                                // threads blocked for webs
+                                                // only partially)
+      }
+      if (used_threads + webs > 16) {
+        std::printf(" %11s", "-");
+        continue;
+      }
+      NeatRun r;
+      r.machine = sim::intel_xeon_e5520();
+      r.multi = false;
+      r.replicas = s.replicas;
+      r.webs = webs;
+      r.use_xeon_placement = true;
+      r.xeon_ht = s.ht;
+      const auto res = run_neat(r);
+      std::printf(" %11.1f", res.krps);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  LinuxRun lr;
+  lr.machine = sim::intel_xeon_e5520();
+  lr.webs = 16;
+  const auto lin = run_linux(lr);
+
+  NeatRun best;
+  best.machine = sim::intel_xeon_e5520();
+  best.replicas = 4;
+  best.webs = 9;
+  best.use_xeon_placement = true;
+  best.xeon_ht = true;
+  const auto neat4 = run_neat(best);
+
+  std::printf("\nLinux best (16 lighttpd): %.1f krps (paper: 328)\n",
+              lin.krps);
+  std::printf("NEaT 4x HT (9 lighttpd): %.1f krps (paper: 372)\n",
+              neat4.krps);
+  std::printf("NEaT advantage: %+.1f%% (paper: +13.4%%)\n",
+              (neat4.krps / lin.krps - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 12: comparing configurations under the same connection-churn
+// workload (12-core AMD, **one request per connection** — stressing the
+// stack's connection setup/teardown path).
+//
+// Test points follow the paper's x-axis: 1 lighttpd with 8/16/32/64
+// concurrent connections, then 2 lighttpd with 32, and 4 lighttpd with 64.
+// Paper landmarks:
+//   * at the lightest load (8 connections) Multi 1x beats Multi 2x —
+//     lightly loaded components sleep, and the extra wake-up latency is
+//     more visible in the multi-component stack;
+//   * at higher loads, more replicas win.
+#include "bench_util.hpp"
+
+using namespace neat;
+using namespace neat::bench;
+
+int main() {
+  header("Figure 12: AMD - configurations under 1-request-per-connection "
+         "load [kreq/s]");
+
+  struct Config {
+    const char* name;
+    bool multi;
+    int replicas;
+  };
+  const Config configs[] = {
+      {"NEaT 1x", false, 1}, {"NEaT 2x", false, 2}, {"NEaT 3x", false, 3},
+      {"Multi 1x", true, 1}, {"Multi 2x", true, 2},
+  };
+  struct Point {
+    const char* label;
+    int webs;
+    std::size_t total_conns;
+  };
+  const Point points[] = {
+      {"8", 1, 8},        {"16", 1, 16},      {"32", 1, 32},
+      {"64", 1, 64},      {"2srv,32", 2, 32}, {"4srv,64", 4, 64},
+  };
+
+  std::printf("%-10s", "point");
+  for (const auto& c : configs) std::printf(" %9s", c.name);
+  std::printf("\n");
+
+  for (const auto& p : points) {
+    std::printf("%-10s", p.label);
+    for (const auto& c : configs) {
+      NeatRun r;
+      r.multi = c.multi;
+      r.replicas = c.replicas;
+      r.webs = p.webs;
+      r.requests_per_conn = 1;  // the modified single-request test
+      r.generators = p.webs;
+      r.concurrency_per_gen = p.total_conns / static_cast<std::size_t>(p.webs);
+      const auto res = run_neat(r);
+      std::printf(" %9.1f", res.krps);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper landmark: at 8 connections Multi 1x > Multi 2x "
+              "(sleep/wake latency); at 4srv,64 all multi-replica configs "
+              "beat single-replica ones\n");
+  return 0;
+}

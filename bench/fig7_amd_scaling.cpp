@@ -1,0 +1,68 @@
+// Figure 7: scaling lighttpd and the network stack on the 12-core AMD.
+//
+// Series: Multi 1x, Multi 2x, NEaT 2x, NEaT 3x over 1..6 lighttpd
+// instances (20-byte file, 100 requests per persistent connection).
+// Paper landmarks:
+//   * Multi 1x scales linearly to 4 instances, then the stack saturates;
+//   * Multi 2x / NEaT 2x reach ~250 krps at 5 instances;
+//   * NEaT 3x scales to 6 instances (~302 krps) — 34.8% above the best
+//     Linux configuration (224 krps).
+#include "bench_util.hpp"
+
+using namespace neat;
+using namespace neat::bench;
+
+int main() {
+  header("Figure 7: AMD - scaling lighttpd and the network stack [kreq/s]");
+
+  struct Series {
+    const char* name;
+    bool multi;
+    int replicas;
+  };
+  const Series series[] = {
+      {"Multi 1x", true, 1},
+      {"Multi 2x", true, 2},
+      {"NEaT 2x", false, 2},
+      {"NEaT 3x", false, 3},
+  };
+
+  std::printf("%-10s", "webs");
+  for (const auto& s : series) std::printf(" %10s", s.name);
+  std::printf("\n");
+
+  for (int webs = 1; webs <= 6; ++webs) {
+    std::printf("%-10d", webs);
+    for (const auto& s : series) {
+      // Core budget: 3 system cores + stack cores + web cores <= 12.
+      const int stack_cores = s.multi ? 2 * s.replicas : s.replicas;
+      if (3 + stack_cores + webs > 12) {
+        std::printf(" %10s", "-");
+        continue;
+      }
+      NeatRun r;
+      r.multi = s.multi;
+      r.replicas = s.replicas;
+      r.webs = webs;
+      const auto res = run_neat(r);
+      std::printf(" %10.1f", res.krps);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  // Reference: the best Linux configuration on the same machine.
+  LinuxRun lr;
+  lr.webs = 12;
+  const auto lin = run_linux(lr);
+  std::printf("\nLinux best configuration (all 12 cores): %.1f krps "
+              "(paper: 224)\n", lin.krps);
+
+  NeatRun best;
+  best.replicas = 3;
+  best.webs = 6;
+  const auto neat3 = run_neat(best);
+  std::printf("NEaT 3x advantage over Linux: %+.1f%% (paper: +34.8%%)\n",
+              (neat3.krps / lin.krps - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 9: scaling the multi-component stack on the 8-core/16-thread Xeon.
+//
+// Series: Multi 1x, Multi 2x (core-only placements), Multi 2x HT (both
+// replicas colocated on sibling threads, Figure 8c). Lighttpd counts follow
+// the paper's x-axis {1,2,3,4,6,8}; beyond the dedicated cores, instances
+// run on the hyper-threads of the stack cores themselves.
+// Paper landmarks: throughput knees at 4 instances for Multi 1x;
+// Multi 2x HT peaks at ~322 krps with 8 instances.
+#include "bench_util.hpp"
+
+using namespace neat;
+using namespace neat::bench;
+
+int main() {
+  header("Figure 9: Xeon - scaling the multi-component stack [kreq/s]");
+
+  struct Series {
+    const char* name;
+    int replicas;
+    bool ht;
+  };
+  const Series series[] = {
+      {"Multi 1x", 1, false},
+      {"Multi 2x", 2, false},
+      {"Multi 2x HT", 2, true},
+  };
+  const int xs[] = {1, 2, 3, 4, 6, 8};
+
+  std::printf("%-6s %12s %12s %12s\n", "webs", series[0].name, series[1].name,
+              series[2].name);
+  for (int webs : xs) {
+    std::printf("%-6d", webs);
+    for (const auto& s : series) {
+      // Hardware-thread budget check is inside xeon_placement (asserts);
+      // compute conservatively here.
+      const int sys_threads = s.ht ? 3 : 3;  // os(+syscall), driver, ...
+      const int stack_threads = 2 * s.replicas;
+      if (sys_threads + (s.ht ? (stack_threads + 1) / 2 * 2 : stack_threads * 2) +
+              webs > 16) {
+        std::printf(" %12s", "-");
+        continue;
+      }
+      NeatRun r;
+      r.machine = sim::intel_xeon_e5520();
+      r.multi = true;
+      r.replicas = s.replicas;
+      r.webs = webs;
+      r.use_xeon_placement = true;
+      r.xeon_ht = s.ht;
+      const auto res = run_neat(r);
+      std::printf(" %12.1f", res.krps);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper landmarks: Multi 1x peaks at 4 webs (~240); "
+              "Multi 2x HT peaks at 8 webs (~322)\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+#include "apps/http.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace neat::apps {
+
+namespace {
+constexpr std::size_t kMaxHeadBytes = 8192;
+
+/// Case-insensitive substring search in a header block.
+bool contains_token(const std::string& head, const char* token) {
+  auto lower = head;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower.find(token) != std::string::npos;
+}
+}  // namespace
+
+std::vector<HttpRequest> HttpRequestParser::feed(
+    std::span<const std::uint8_t> data) {
+  std::vector<HttpRequest> out;
+  if (error_) return out;
+  buf_.append(reinterpret_cast<const char*>(data.data()), data.size());
+
+  while (true) {
+    const auto end = buf_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (buf_.size() > kMaxHeadBytes) error_ = true;
+      return out;
+    }
+    const std::string head = buf_.substr(0, end);
+    buf_.erase(0, end + 4);
+
+    HttpRequest req;
+    const auto line_end = head.find("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? head : head.substr(0, line_end);
+    const auto sp1 = line.find(' ');
+    const auto sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      error_ = true;
+      return out;
+    }
+    req.method = line.substr(0, sp1);
+    req.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = line.substr(sp2 + 1);
+    // HTTP/1.1 defaults to keep-alive; "Connection: close" overrides.
+    req.keep_alive = version == "HTTP/1.1"
+                         ? !contains_token(head, "connection: close")
+                         : contains_token(head, "connection: keep-alive");
+    out.push_back(std::move(req));
+  }
+}
+
+std::vector<std::uint8_t> build_request(const std::string& path,
+                                        bool keep_alive) {
+  std::string s = "GET " + path + " HTTP/1.1\r\nHost: sut\r\n";
+  if (!keep_alive) s += "Connection: close\r\n";
+  s += "\r\n";
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::uint8_t> build_response(int status,
+                                         std::span<const std::uint8_t> body,
+                                         bool keep_alive) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) +
+                     (status == 200 ? " OK" : " Error") +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\n";
+  if (!keep_alive) head += "Connection: close\r\n";
+  head += "\r\n";
+  std::vector<std::uint8_t> out;
+  out.reserve(head.size() + body.size());
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> build_error_response(int status) {
+  return build_response(status, {}, true);
+}
+
+std::size_t HttpResponseParser::feed(std::span<const std::uint8_t> data) {
+  std::size_t completed = 0;
+  std::size_t i = 0;
+  while (i < data.size() && !error_) {
+    if (!in_body_) {
+      head_.push_back(static_cast<char>(data[i++]));
+      if (head_.size() > kMaxHeadBytes) {
+        error_ = true;
+        return completed;
+      }
+      if (head_.size() >= 4 &&
+          head_.compare(head_.size() - 4, 4, "\r\n\r\n") == 0) {
+        // Parse status line + Content-Length.
+        const auto sp = head_.find(' ');
+        status_ = 0;
+        if (sp != std::string::npos) {
+          std::from_chars(head_.data() + sp + 1, head_.data() + sp + 4,
+                          status_);
+        }
+        auto lower = head_;
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        const auto cl = lower.find("content-length:");
+        std::size_t len = 0;
+        if (cl != std::string::npos) {
+          const char* p = lower.data() + cl + 15;
+          while (*p == ' ') ++p;
+          std::from_chars(p, lower.data() + lower.size(), len);
+        }
+        head_.clear();
+        body_remaining_ = len;
+        in_body_ = true;
+        if (body_remaining_ == 0) {
+          in_body_ = false;
+          ++completed;
+        }
+      }
+    } else {
+      const std::size_t take = std::min(body_remaining_, data.size() - i);
+      body_remaining_ -= take;
+      body_total_ += take;
+      i += take;
+      if (body_remaining_ == 0) {
+        in_body_ = false;
+        ++completed;
+      }
+    }
+  }
+  return completed;
+}
+
+void FileStore::add(const std::string& path, std::size_t size) {
+  std::vector<std::uint8_t> content(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    content[i] = static_cast<std::uint8_t>('a' + (i * 31 + size) % 26);
+  }
+  files_[path] = std::move(content);
+}
+
+const std::vector<std::uint8_t>* FileStore::lookup(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+}  // namespace neat::apps

@@ -1,0 +1,145 @@
+#include "apps/http_server.hpp"
+
+#include <cassert>
+
+namespace neat::apps {
+
+using socklib::CloseReason;
+using socklib::ConnCallbacks;
+using socklib::Fd;
+using socklib::kBadFd;
+
+HttpServer::HttpServer(sim::Simulator& sim, std::string name,
+                       const FileStore& files, std::uint16_t port,
+                       Costs costs)
+    : sim::Process(sim, std::move(name)),
+      files_(files),
+      port_(port),
+      costs_(costs) {}
+
+void HttpServer::attach_api(std::unique_ptr<socklib::SocketApi> api) {
+  api_ = std::move(api);
+}
+
+void HttpServer::start() {
+  assert(api_ && "attach_api() before start()");
+  listen_fd_ = api_->listen(port_, 1024, [this] { accept_loop(); });
+}
+
+void HttpServer::accept_loop() {
+  // One accept per job so each new connection pays its cost; chain while
+  // more are pending.
+  post(costs_.accept, [this] {
+    ConnCallbacks cb;
+    cb.on_readable = [this](Fd fd) { on_readable(fd); };
+    cb.on_writable = [this](Fd fd) { continue_write(fd); };
+    cb.on_closed = [this](Fd fd, CloseReason r) {
+      if (r != CloseReason::kNormal) ++stats_.conn_errors;
+      finish(fd);
+    };
+    const Fd fd = api_->accept(listen_fd_, cb);
+    if (fd == kBadFd) return;
+    ++stats_.conns_accepted;
+    conns_.emplace(fd, Conn{});
+    accept_loop();  // maybe more queued
+  });
+}
+
+void HttpServer::on_readable(Fd fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  const std::size_t avail = api_->readable(fd);
+  post(costs_.read_parse + costs_.per_16_bytes * (avail / 16), [this, fd] {
+    auto cit = conns_.find(fd);
+    if (cit == conns_.end()) return;
+    Conn& c = cit->second;
+
+    std::uint8_t buf[4096];
+    while (true) {
+      const std::size_t n = api_->recv(fd, buf);
+      if (n == 0) break;
+      auto reqs = c.parser.feed({buf, n});
+      for (auto& r : reqs) c.queue.push_back(std::move(r));
+    }
+    if (c.parser.error()) {
+      api_->close(fd);
+      finish(fd);
+      return;
+    }
+    if (api_->eof(fd) && c.queue.empty() && c.out.empty()) {
+      api_->close(fd);
+      finish(fd);
+      return;
+    }
+    serve_next(fd);
+  });
+}
+
+void HttpServer::serve_next(Fd fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  if (c.respond_pending || c.queue.empty() || !c.out.empty()) return;
+  c.respond_pending = true;
+
+  const HttpRequest req = c.queue.front();
+  c.queue.erase(c.queue.begin());
+  const std::vector<std::uint8_t>* body = files_.lookup(req.path);
+  const std::size_t body_size = body ? body->size() : 0;
+
+  post(costs_.respond + costs_.per_16_bytes * (body_size / 16),
+       [this, fd, req, body] {
+         auto cit = conns_.find(fd);
+         if (cit == conns_.end()) return;
+         Conn& c = cit->second;
+         c.respond_pending = false;
+
+         if (body != nullptr) {
+           c.out = build_response(200, *body, req.keep_alive);
+           ++stats_.requests;
+         } else {
+           c.out = build_error_response(404);
+           ++stats_.not_found;
+         }
+         c.out_off = 0;
+         ++c.served;
+         if (!req.keep_alive || c.served >= max_requests_per_conn) {
+           c.closing = true;
+         }
+         continue_write(fd);
+       });
+}
+
+void HttpServer::continue_write(Fd fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = it->second;
+  if (c.out.empty()) {
+    serve_next(fd);
+    return;
+  }
+  const std::size_t n = api_->send(
+      fd, std::span<const std::uint8_t>{c.out}.subspan(c.out_off));
+  c.out_off += n;
+  stats_.bytes_sent += n;
+  if (c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+    if (c.closing) {
+      api_->close(fd);
+      finish(fd);
+      return;
+    }
+    serve_next(fd);  // pipelined request may be waiting
+  }
+  // else: short write — resume on on_writable
+}
+
+void HttpServer::finish(Fd fd) { conns_.erase(fd); }
+
+void HttpServer::on_restart() {
+  conns_.clear();
+  if (api_ && listen_fd_ != kBadFd) start();
+}
+
+}  // namespace neat::apps

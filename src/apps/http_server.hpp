@@ -1,0 +1,88 @@
+// The benchmark web server — the paper's lighttpd stand-in.
+//
+// Event-driven, serves in-memory static files over keep-alive HTTP/1.1,
+// deliberately minimal so measurements exercise the network stack rather
+// than the application (§6.2). Programmed strictly against SocketApi: the
+// same binary logic runs on the NEaT stack and on the Linux baseline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/http.hpp"
+#include "sim/process.hpp"
+#include "socklib/socket_api.hpp"
+
+namespace neat::apps {
+
+class HttpServer : public sim::Process {
+ public:
+  /// Application-side CPU costs per operation (include the user-space part
+  /// of the socket library, as lighttpd's profile would).
+  struct Costs {
+    sim::Cycles accept{2500};
+    sim::Cycles read_parse{6500};   ///< per readable event + request parse
+    sim::Cycles respond{30400};     ///< per request: dispatch + headers
+    sim::Cycles per_16_bytes{2};    ///< body copy
+  };
+
+  struct Stats {
+    std::uint64_t conns_accepted{0};
+    std::uint64_t requests{0};
+    std::uint64_t bytes_sent{0};
+    std::uint64_t not_found{0};
+    std::uint64_t conn_errors{0};
+  };
+
+  HttpServer(sim::Simulator& sim, std::string name, const FileStore& files,
+             std::uint16_t port, Costs costs);
+  HttpServer(sim::Simulator& sim, std::string name, const FileStore& files,
+             std::uint16_t port)
+      : HttpServer(sim, std::move(name), files, port, Costs{}) {}
+
+  /// The server owns its socket API instance (its libc, so to speak).
+  void attach_api(std::unique_ptr<socklib::SocketApi> api);
+
+  /// Open the listening socket and start serving.
+  void start();
+
+  [[nodiscard]] const Stats& app_stats() const { return stats_; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] socklib::SocketApi& api() { return *api_; }
+
+  /// Keep-alive request limit per connection (paper tuned lighttpd to
+  /// 1000).
+  int max_requests_per_conn{1000};
+
+ protected:
+  void on_restart() override;
+
+ private:
+  struct Conn {
+    HttpRequestParser parser;
+    std::vector<std::uint8_t> out;  // pending response bytes
+    std::size_t out_off{0};
+    int served{0};
+    bool closing{false};
+    bool respond_pending{0};
+    std::vector<HttpRequest> queue;  // pipelined/waiting requests
+  };
+
+  void accept_loop();
+  void on_readable(socklib::Fd fd);
+  void serve_next(socklib::Fd fd);
+  void continue_write(socklib::Fd fd);
+  void finish(socklib::Fd fd);
+
+  const FileStore& files_;
+  std::uint16_t port_;
+  Costs costs_;
+  Stats stats_;
+  std::unique_ptr<socklib::SocketApi> api_;
+  socklib::Fd listen_fd_{socklib::kBadFd};
+  std::unordered_map<socklib::Fd, Conn> conns_;
+};
+
+}  // namespace neat::apps

@@ -1,0 +1,55 @@
+// Fault injection (paper §6.6, Table 3).
+//
+// Mimics the authors' tool: a fault is injected at a random point in the
+// network stack's code; the probability that a given component hosts the
+// fault is proportional to that component's code size. We then crash the
+// chosen component process and let NEaT's recovery run, recording whether
+// any TCP state (connections) was lost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "neat/host.hpp"
+#include "sim/random.hpp"
+
+namespace neat::fault {
+
+struct ComponentWeight {
+  Component component;
+  bool is_driver{false};
+  double weight{1.0};  ///< proportional to code size
+  const char* name{""};
+};
+
+/// Code-size weights measured from this repository's modules (wc -l at the
+/// time of calibration; the exact values matter less than the ratio —
+/// TCP is by far the largest stateful component, just as in the paper).
+[[nodiscard]] std::vector<ComponentWeight> default_weights();
+
+struct InjectionOutcome {
+  std::string component;
+  bool tcp_state_lost{false};
+  std::size_t connections_lost{0};
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(NeatHost& host, std::uint64_t seed,
+                std::vector<ComponentWeight> weights = default_weights());
+
+  /// Crash one randomly chosen component of one randomly chosen replica.
+  InjectionOutcome inject_random();
+
+  /// Crash a specific component of a specific replica.
+  InjectionOutcome inject(std::size_t replica, Component component);
+
+ private:
+  NeatHost& host_;
+  sim::Rng rng_;
+  std::vector<ComponentWeight> weights_;
+  double total_weight_{0.0};
+};
+
+}  // namespace neat::fault

@@ -1,0 +1,117 @@
+// Shared-memory byte ring: the data plane of a NEaT socket.
+//
+// The socket design (Hruby et al., TRIOS'14, cited as [35]) maps a pair of
+// byte rings between the application and its network stack replica, so that
+// send()/recv() are plain memory copies plus an occasional doorbell —
+// "resolving the vast majority of system calls within the application
+// itself". This class is that ring.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace neat::ipc {
+
+class ByteRing {
+ public:
+  /// Backing memory is allocated lazily on first write and can be released
+  /// with release() — connection teardown states (TIME_WAIT) must not pin
+  /// buffer memory, or high connection churn exhausts RAM.
+  explicit ByteRing(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t readable() const { return size_; }
+  [[nodiscard]] std::size_t writable() const { return capacity_ - size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == capacity_; }
+
+  /// Copy as much of `src` in as fits; returns bytes written.
+  std::size_t write(std::span<const std::uint8_t> src) {
+    if (buf_.empty() && !src.empty()) buf_.resize(capacity_);
+    const std::size_t n = std::min(src.size(), writable());
+    for (std::size_t i = 0; i < n; ++i) {
+      buf_[(head_ + size_ + i) % buf_.size()] = src[i];
+    }
+    size_ += n;
+    total_in_ += n;
+    return n;
+  }
+
+  /// Drop content AND free the backing memory (lazily re-allocated if the
+  /// ring is written again).
+  void release() {
+    head_ = 0;
+    size_ = 0;
+    buf_.clear();
+    buf_.shrink_to_fit();
+  }
+
+  /// Copy up to dst.size() bytes out; returns bytes read.
+  std::size_t read(std::span<std::uint8_t> dst) {
+    if (buf_.empty()) return 0;
+    const std::size_t n = std::min(dst.size(), readable());
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = buf_[(head_ + i) % buf_.size()];
+    }
+    head_ = (head_ + n) % buf_.size();
+    size_ -= n;
+    total_out_ += n;
+    return n;
+  }
+
+  /// Copy bytes starting `offset` into the readable region, without
+  /// consuming (TCP retransmission reads unacked data at an offset).
+  std::size_t peek_at(std::size_t offset, std::span<std::uint8_t> dst) const {
+    if (buf_.empty() || offset >= readable()) return 0;
+    const std::size_t n = std::min(dst.size(), readable() - offset);
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = buf_[(head_ + offset + i) % buf_.size()];
+    }
+    return n;
+  }
+
+  /// Copy up to `n` bytes without consuming them.
+  std::size_t peek(std::span<std::uint8_t> dst) const {
+    if (buf_.empty()) return 0;
+    const std::size_t n = std::min(dst.size(), readable());
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = buf_[(head_ + i) % buf_.size()];
+    }
+    return n;
+  }
+
+  /// Drop up to n bytes; returns bytes dropped.
+  std::size_t discard(std::size_t n) {
+    if (buf_.empty()) return 0;
+    n = std::min(n, readable());
+    head_ = (head_ + n) % buf_.size();
+    size_ -= n;
+    total_out_ += n;
+    return n;
+  }
+
+  /// Remove all content (socket teardown / replica restart).
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t total_in() const { return total_in_; }
+  [[nodiscard]] std::uint64_t total_out() const { return total_out_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::uint8_t> buf_;  // empty until first write
+  std::size_t head_{0};
+  std::size_t size_{0};
+  std::uint64_t total_in_{0};
+  std::uint64_t total_out_{0};
+};
+
+}  // namespace neat::ipc

@@ -1,0 +1,115 @@
+// Bounded single-producer message channels between isolated processes.
+//
+// All cross-process communication in NEaT goes through asynchronous bounded
+// queues: the producer deposits a message and (if needed) wakes the consumer;
+// the consumer is charged a per-message CPU cost when it dequeues. A full
+// channel drops the message — exactly like a full NIC ring or a full MINIX
+// asynsend slot — and the upper layers (TCP) are responsible for recovery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace neat::ipc {
+
+/// Statistics every channel keeps; the harness reads these to report drop
+/// rates and queue pressure.
+struct ChannelStats {
+  std::uint64_t sent{0};
+  std::uint64_t delivered{0};
+  std::uint64_t dropped_full{0};
+  std::uint64_t dropped_dead{0};
+};
+
+/// A typed, bounded, unidirectional channel into `consumer`.
+///
+/// `cost_fn(msg)` gives the CPU cycles the consumer spends handling the
+/// message; `handler(msg)` runs after that work completes. `latency` models
+/// the cache-line/interconnect transfer delay between cores.
+template <typename T>
+class Channel {
+ public:
+  using Handler = std::function<void(T&&)>;
+  using CostFn = std::function<sim::Cycles(const T&)>;
+
+  Channel(sim::Process& consumer, std::size_t capacity, sim::SimTime latency,
+          CostFn cost_fn, Handler handler)
+      : consumer_(&consumer),
+        capacity_(capacity),
+        latency_(latency),
+        cost_fn_(std::move(cost_fn)),
+        handler_(std::move(handler)) {}
+
+  /// Convenience: fixed per-message cost.
+  Channel(sim::Process& consumer, std::size_t capacity, sim::SimTime latency,
+          sim::Cycles cost, Handler handler)
+      : Channel(consumer, capacity, latency,
+                [cost](const T&) { return cost; }, std::move(handler)) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Deposit a message. Returns false (and drops it) if the channel is full
+  /// or the consumer is dead.
+  bool send(T msg) {
+    ++stats_.sent;
+    if (consumer_->crashed()) {
+      // Messages to a dead process are lost; any slots still accounted to
+      // in-flight messages died with it, so reclaim them all.
+      in_flight_ = 0;
+      ++stats_.dropped_dead;
+      return false;
+    }
+    if (in_flight_ >= capacity_) {
+      ++stats_.dropped_full;
+      return false;
+    }
+    ++in_flight_;
+    auto& q = consumer_->sim().queue();
+    const auto epoch = consumer_->epoch();
+    q.schedule(latency_, [this, epoch, msg = std::move(msg)]() mutable {
+      if (consumer_->crashed() || consumer_->epoch() != epoch) {
+        if (in_flight_ > 0) --in_flight_;
+        return;
+      }
+      const sim::Cycles cost = cost_fn_(msg);
+      consumer_->post(cost, [this, msg = std::move(msg)]() mutable {
+        if (in_flight_ > 0) --in_flight_;
+        ++stats_.delivered;
+        handler_(std::move(msg));
+      });
+    });
+    return true;
+  }
+
+  /// Re-target the channel at a (possibly restarted) consumer; forgets any
+  /// in-flight messages, which died with the previous incarnation.
+  void rebind(sim::Process& consumer) {
+    consumer_ = &consumer;
+    in_flight_ = 0;
+  }
+
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Process& consumer() const { return *consumer_; }
+
+ private:
+  sim::Process* consumer_;
+  std::size_t capacity_;
+  sim::SimTime latency_;
+  CostFn cost_fn_;
+  Handler handler_;
+  std::size_t in_flight_{0};
+  ChannelStats stats_;
+};
+
+/// Default inter-core message latency: a couple of cache-line transfers.
+inline constexpr sim::SimTime kDefaultChannelLatency = 200 * sim::kNanosecond;
+
+}  // namespace neat::ipc

@@ -1,0 +1,77 @@
+// Edge-triggered, coalescing doorbell.
+//
+// When an application deposits data into a socket ring it must make sure the
+// stack replica eventually looks at it — but ringing on *every* write would
+// turn the syscall-less fast path back into a per-operation notification.
+// A Doorbell coalesces: while a previous ring has not been consumed, further
+// rings are free no-ops, exactly like an MWAIT monitor armed on a write.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "sim/process.hpp"
+
+namespace neat::ipc {
+
+class Doorbell {
+ public:
+  /// `cost` is the consumer-side cycles to take the notification (queue
+  /// scan); `handler` then runs in the consumer's context and typically
+  /// drains the associated ring(s).
+  Doorbell(sim::Process& consumer, sim::Cycles cost,
+           std::function<void()> handler)
+      : consumer_(&consumer), cost_(cost), handler_(std::move(handler)) {}
+
+  ~Doorbell() { *alive_ = false; }  // in-flight rings become no-ops
+
+  Doorbell(const Doorbell&) = delete;
+  Doorbell& operator=(const Doorbell&) = delete;
+
+  /// Replace the handler (used when the handler must capture shared
+  /// ownership of an object that contains this doorbell).
+  void set_handler(std::function<void()> handler) {
+    handler_ = std::move(handler);
+  }
+
+  /// Ring. Coalesced while a previous ring is pending.
+  void ring() {
+    ++rings_;
+    if (pending_) return;
+    if (consumer_->crashed()) return;
+    pending_ = true;
+    ++deliveries_;
+    consumer_->post(cost_, [this, alive = alive_] {
+      if (!*alive) return;  // the doorbell's owner was destroyed
+      pending_ = false;
+      handler_();
+    });
+  }
+
+  /// Re-target after consumer restart; clears any lost pending state.
+  void rebind(sim::Process& consumer) {
+    consumer_ = &consumer;
+    pending_ = false;
+  }
+
+  /// Recovery hook: a pending ring queued to a process that crashed will
+  /// never fire; callers re-arm after restart.
+  void reset() { pending_ = false; }
+
+  [[nodiscard]] bool pending() const { return pending_; }
+  [[nodiscard]] std::uint64_t rings() const { return rings_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  sim::Process* consumer_;
+  sim::Cycles cost_;
+  std::function<void()> handler_;
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
+  bool pending_{false};
+  std::uint64_t rings_{0};
+  std::uint64_t deliveries_{0};
+};
+
+}  // namespace neat::ipc

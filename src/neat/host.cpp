@@ -1,0 +1,255 @@
+#include "neat/host.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace neat {
+
+// ---------------------------------------------------------------------------
+// SyscallServer
+// ---------------------------------------------------------------------------
+
+SyscallServer::SyscallServer(sim::Simulator& sim, StackCosts costs)
+    : sim::Process(sim, "syscall"),
+      ch_(*this, 4096, ipc::kDefaultChannelLatency, costs.syscall_server,
+          [this](std::function<void()>&& op) {
+            ++calls_;
+            op();
+          }) {}
+
+// ---------------------------------------------------------------------------
+// NeatHost
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Placeholder for "all remaining operating system processes" sharing the
+/// OS core (paper §6.3). It idles unless someone posts work at it.
+class OsProcess final : public sim::Process {
+ public:
+  explicit OsProcess(sim::Simulator& sim) : sim::Process(sim, "os") {}
+};
+}  // namespace
+
+NeatHost::NeatHost(sim::Simulator& sim, sim::Machine& machine, nic::Nic& nic,
+                   Config config)
+    : sim_(sim),
+      machine_(machine),
+      nic_(nic),
+      config_(config),
+      driver_(std::make_unique<drv::NicDriver>(sim, nic, config.costs)),
+      syscall_(std::make_unique<SyscallServer>(sim, config.costs)),
+      os_proc_(std::make_unique<OsProcess>(sim)),
+      rng_(sim.rng().split(0x4057)) {
+  if (config_.smartnic_offload) driver_->set_hardware_offload(true);
+  gc_timer_ = sim_.schedule(config_.gc_period, [this] { gc_tick(); });
+}
+
+NeatHost::~NeatHost() { gc_timer_.cancel(); }
+
+StackReplica& NeatHost::add_replica(
+    const std::vector<sim::HwThread*>& pins) {
+  assert(!pins.empty());
+  const int id = static_cast<int>(replicas_.size());
+  const int queue = id;  // one NIC queue pair per replica
+  std::unique_ptr<StackReplica> rep;
+  if (config_.kind == Config::Kind::kSingle) {
+    auto r = std::make_unique<SingleComponentReplica>(
+        sim_, id, queue, *driver_, nic_.mac(), nic_.ip(), config_.costs,
+        config_.tcp);
+    r->pin(*pins[0]);
+    rep = std::move(r);
+  } else {
+    auto r = std::make_unique<MultiComponentReplica>(
+        sim_, id, queue, *driver_, nic_.mac(), nic_.ip(), config_.costs,
+        config_.tcp);
+    sim::HwThread* tcp_pin = pins[0];
+    sim::HwThread* ip_pin = pins.size() > 1 ? pins[1] : pins[0];
+    sim::HwThread* udp_pin = pins.size() > 2 ? pins[2] : ip_pin;
+    sim::HwThread* pf_pin = pins.size() > 3 ? pins[3] : ip_pin;
+    r->tcp_component().pin(*tcp_pin);
+    r->ip_component().pin(*ip_pin);
+    r->component(Component::kUdp)->pin(*udp_pin);
+    r->component(Component::kFilter)->pin(*pf_pin);
+    rep = std::move(r);
+  }
+  StackReplica& ref = *rep;
+  replicas_.push_back(std::move(rep));
+  checkpoints_.resize(replicas_.size());
+  if (config_.checkpoint_interval > 0) {
+    sim_.schedule(config_.checkpoint_interval,
+                  [this, id] { checkpoint_tick(id); });
+  }
+  driver_->announce_endpoint(queue, &ref.rx_channel());
+  update_steering();
+  // Subsocket replication: every recorded listener appears on the new
+  // replica too, so it immediately shares the accept load.
+  replay_listens(ref);
+  return ref;
+}
+
+std::vector<StackReplica*> NeatHost::active_replicas() {
+  std::vector<StackReplica*> out;
+  for (auto& r : replicas_) {
+    if (!r->terminating && !r->terminated &&
+        !r->tcp_process().crashed()) {
+      out.push_back(r.get());
+    }
+  }
+  return out;
+}
+
+std::vector<StackReplica*> NeatHost::serving_replicas() {
+  std::vector<StackReplica*> out;
+  for (auto& r : replicas_) {
+    if (!r->terminated) out.push_back(r.get());
+  }
+  return out;
+}
+
+StackReplica* NeatHost::pick_replica() {
+  auto active = active_replicas();
+  if (active.empty()) return nullptr;
+  return active[rng_.below(active.size())];
+}
+
+void NeatHost::record_listen(ListenRecord rec) {
+  listen_registry_.push_back(std::move(rec));
+}
+
+void NeatHost::remove_listen(std::uint16_t port) {
+  std::erase_if(listen_registry_,
+                [port](const ListenRecord& r) { return r.port == port; });
+  for (auto* r : serving_replicas()) {
+    r->tcp_process().post(config_.costs.replica_control, [r, port] {
+      r->tcp().close_listener(port);
+    });
+  }
+}
+
+void NeatHost::replay_listens(StackReplica& replica) {
+  for (const auto& rec : listen_registry_) {
+    replica.tcp_process().post(
+        config_.costs.replica_control, [&replica, rec] {
+          net::TcpListener* l = replica.tcp().listen(rec.port, rec.backlog);
+          if (l == nullptr) l = replica.tcp().listener(rec.port);
+          if (l != nullptr && rec.wire) rec.wire(replica, *l);
+        });
+  }
+}
+
+void NeatHost::update_steering() {
+  std::vector<int> queues;
+  for (auto* r : active_replicas()) queues.push_back(r->queue());
+  if (queues.empty()) return;
+  driver_->control([this, queues] { nic_.set_active_queues(queues); });
+}
+
+void NeatHost::begin_scale_down(StackReplica& replica) {
+  if (replica.terminating || replica.terminated) return;
+  replica.terminating = true;
+  // (ii) new connections bypass it; existing flows keep their path thanks
+  // to the NIC's per-flow tracking filters.
+  update_steering();
+}
+
+void NeatHost::gc_tick() {
+  for (auto& r : replicas_) {
+    if (r->terminating && !r->terminated &&
+        r->tcp().active_connection_count() == 0) {
+      // (iii) connection count hit zero: collect the replica. Its cores
+      // are now free for applications.
+      r->terminated = true;
+      driver_->deactivate_endpoint(r->queue());
+      for (auto* p : r->processes()) p->crash();
+    }
+  }
+  gc_timer_ = sim_.schedule(config_.gc_period, [this] { gc_tick(); });
+}
+
+void NeatHost::checkpoint_tick(int replica_id) {
+  StackReplica& rep = *replicas_[static_cast<std::size_t>(replica_id)];
+  if (!rep.terminated) {
+    // The checkpoint pass runs inside the TCP process and is charged per
+    // connection — this is the run-time overhead stateful recovery costs.
+    const auto conns = rep.tcp().connection_count();
+    const sim::Cycles cost =
+        config_.costs.checkpoint_base +
+        config_.costs.checkpoint_per_conn * static_cast<sim::Cycles>(conns);
+    rep.tcp_process().post(cost, [this, replica_id, &rep] {
+      checkpoints_[static_cast<std::size_t>(replica_id)] =
+          rep.tcp().snapshot();
+    });
+  }
+  sim_.schedule(config_.checkpoint_interval,
+                [this, replica_id] { checkpoint_tick(replica_id); });
+}
+
+void NeatHost::inject_crash(StackReplica& replica, Component component) {
+  sim::Process* proc = replica.component(component);
+  assert(proc != nullptr);
+  if (proc->crashed()) return;
+
+  const bool tcp_loss =
+      component == Component::kTcp || component == Component::kWhole ||
+      std::string_view(replica.kind()) == "single";
+  RecoveryEvent ev;
+  ev.at = sim_.now();
+  ev.replica_id = replica.id();
+  ev.component = to_string(component);
+  ev.tcp_state_lost = tcp_loss;
+  ev.connections_lost = tcp_loss ? replica.tcp().connection_count() : 0;
+  recovery_log_.push_back(ev);
+
+  // The crash: state vanishes silently (on_crash hooks).
+  proc->crash();
+  // The driver stops passing packets to the replica until it announces
+  // itself again (§3.6) — only needed when the RX-facing component died.
+  if (component == Component::kIp || component == Component::kWhole ||
+      std::string_view(replica.kind()) == "single") {
+    driver_->deactivate_endpoint(replica.queue());
+  }
+
+  // Restart after the (short) recovery delay.
+  sim_.schedule(config_.restart_delay, [this, &replica, component, proc,
+                                        tcp_loss] {
+    proc->restart();
+    replica.reset_after_restart(component);
+    replica.rx_channel().rebind(replica.rx_channel().consumer());
+    if (tcp_loss) {
+      // Stateful recovery: restore whatever the last checkpoint captured
+      // (empty vector under the default stateless strategy), then tell the
+      // applications which sockets survived and which are gone.
+      std::vector<net::TcpSocketPtr> restored;
+      if (config_.checkpoint_interval > 0) {
+        restored = replica.tcp().restore(
+            checkpoints_[static_cast<std::size_t>(replica.id())]);
+        recovery_log_.back().connections_restored = restored.size();
+      }
+      for (auto* l : listeners_) l->on_replica_tcp_recovery(replica, restored);
+      // Re-create the listening subsockets: the TCP server is reachable
+      // again right after recovery.
+      replay_listens(replica);
+    }
+    // Replica announces itself; the driver resumes delivery.
+    driver_->control([this, &replica] {
+      driver_->announce_endpoint(replica.queue(), &replica.rx_channel());
+    });
+  });
+}
+
+void NeatHost::inject_driver_crash() {
+  if (driver_->crashed()) return;
+  RecoveryEvent ev;
+  ev.at = sim_.now();
+  ev.component = "nicdrv";
+  ev.tcp_state_lost = false;
+  recovery_log_.push_back(ev);
+  driver_->crash();
+  sim_.schedule(config_.restart_delay, [this] {
+    driver_->restart();
+    // Replica TX channels into the driver forget in-flight frames.
+    update_steering();
+  });
+}
+
+}  // namespace neat

@@ -1,0 +1,191 @@
+// NeatHost: one machine running the NEaT stack.
+//
+// Owns the NIC driver, the SYSCALL server, the OS process, and the set of
+// stack replicas; implements the control-plane behaviours of the paper:
+//   * replica-aware NIC steering (active-queue indirection),
+//   * the listen registry that replicates listening sockets onto every
+//     replica (and replays them after restarts / onto new replicas),
+//   * scale up (spawn replica) and scale down (lazy termination, §3.4),
+//   * stateless failure recovery (§3.6): crash detection, restart after a
+//     short delay, driver re-announce, listener replay, and app
+//     notification when TCP state was lost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "drv/driver.hpp"
+#include "neat/costs.hpp"
+#include "neat/replica.hpp"
+#include "nic/nic.hpp"
+#include "sim/machine.hpp"
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+
+namespace neat {
+
+/// The SYSCALL server: a dedicated process through which the (rare)
+/// blocking/control system calls are routed (§3.1). The data path bypasses
+/// it entirely.
+class SyscallServer : public sim::Process {
+ public:
+  SyscallServer(sim::Simulator& sim, StackCosts costs);
+
+  /// Submit a system call; `op` runs in server context after the channel
+  /// hop and the server-side handling cost.
+  void submit(std::function<void()> op) { ch_.send(std::move(op)); }
+
+  [[nodiscard]] std::uint64_t calls_handled() const { return calls_; }
+
+ private:
+  ipc::Channel<std::function<void()>> ch_;
+  std::uint64_t calls_{0};
+};
+
+/// Apps (their socket libraries) implement this to learn about replica
+/// failures that lost TCP state. `restored` carries the connections a
+/// checkpoint brought back (empty under the default stateless recovery):
+/// the library re-attaches those and fails the rest.
+class ReplicaFailureListener {
+ public:
+  virtual ~ReplicaFailureListener() = default;
+  virtual void on_replica_tcp_recovery(
+      StackReplica& replica,
+      const std::vector<net::TcpSocketPtr>& restored) = 0;
+};
+
+/// One durable listen() record; replayed onto replicas after restart and
+/// onto newly spawned replicas (subsocket replication, §3.3).
+struct ListenRecord {
+  std::uint16_t port{0};
+  std::size_t backlog{128};
+  /// Wires the freshly created per-replica listener (installs the
+  /// accept-ready doorbell towards the owning application).
+  std::function<void(StackReplica&, net::TcpListener&)> wire;
+};
+
+/// A recovery event, for the fault-injection experiments (Table 3).
+struct RecoveryEvent {
+  sim::SimTime at{0};
+  int replica_id{-1};
+  std::string component;
+  bool tcp_state_lost{false};
+  std::size_t connections_lost{0};
+  std::size_t connections_restored{0};  ///< via checkpoint, if enabled
+};
+
+class NeatHost {
+ public:
+  struct Config {
+    enum class Kind { kSingle, kMulti };
+    Kind kind{Kind::kSingle};
+    StackCosts costs{};
+    net::TcpConfig tcp{};
+    sim::SimTime restart_delay{20 * sim::kMillisecond};
+    sim::SimTime gc_period{10 * sim::kMillisecond};
+    /// Client-side steering policy for outbound connections.
+    enum class Steering { kRssPortSelection, kExactFilter };
+    Steering steering{Steering::kRssPortSelection};
+
+    /// §4 future-work mode: a programmable NIC runs the driver's data
+    /// plane; the driver process carries control traffic only and its
+    /// core is free for applications.
+    bool smartnic_offload{false};
+
+    /// Stateful recovery (§6.6 discussion): periodically checkpoint each
+    /// replica's TCP state into a host-side store and restore it after a
+    /// TCP crash. 0 disables checkpointing (the paper's default stateless
+    /// strategy). Non-zero intervals buy connection survival at a
+    /// per-interval CPU cost on every replica.
+    sim::SimTime checkpoint_interval{0};
+  };
+
+  NeatHost(sim::Simulator& sim, sim::Machine& machine, nic::Nic& nic,
+           Config config);
+  ~NeatHost();
+
+  NeatHost(const NeatHost&) = delete;
+  NeatHost& operator=(const NeatHost&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Machine& machine() { return machine_; }
+  [[nodiscard]] nic::Nic& nic() { return nic_; }
+  [[nodiscard]] drv::NicDriver& driver() { return *driver_; }
+  [[nodiscard]] SyscallServer& syscall() { return *syscall_; }
+  [[nodiscard]] sim::Process& os_process() { return *os_proc_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const StackCosts& costs() const { return config_.costs; }
+  [[nodiscard]] net::Ipv4Addr ip() const { return nic_.ip(); }
+
+  /// Spawn a replica; `pins` are the hardware threads for its processes —
+  /// single-component: [stack]; multi-component: [tcp, ip] (UDP and PF are
+  /// colocated on the IP thread, where they idle unless exercised).
+  StackReplica& add_replica(const std::vector<sim::HwThread*>& pins);
+
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] StackReplica& replica(std::size_t i) { return *replicas_[i]; }
+
+  /// Replicas currently eligible for new connections.
+  [[nodiscard]] std::vector<StackReplica*> active_replicas();
+  /// Replicas still serving (includes terminating, excludes terminated).
+  [[nodiscard]] std::vector<StackReplica*> serving_replicas();
+
+  /// Random active replica (connection placement; also the security
+  /// re-randomization property of §3.8).
+  StackReplica* pick_replica();
+
+  // --- listen registry -------------------------------------------------------
+  void record_listen(ListenRecord rec);
+  void remove_listen(std::uint16_t port);
+  void replay_listens(StackReplica& replica);
+
+  // --- scaling (§3.4) --------------------------------------------------------
+  /// Mark a replica for lazy termination: new connections avoid it; it is
+  /// garbage-collected when its connection count reaches zero.
+  void begin_scale_down(StackReplica& replica);
+
+  // --- reliability (§3.6) ----------------------------------------------------
+  /// Crash one component of a replica; recovery proceeds automatically.
+  void inject_crash(StackReplica& replica, Component component);
+  /// Crash and recover the NIC driver (driver recovery, §3.5).
+  void inject_driver_crash();
+
+  [[nodiscard]] const std::vector<RecoveryEvent>& recovery_log() const {
+    return recovery_log_;
+  }
+
+  void add_failure_listener(ReplicaFailureListener* l) {
+    listeners_.push_back(l);
+  }
+  void remove_failure_listener(ReplicaFailureListener* l) {
+    std::erase(listeners_, l);
+  }
+
+  /// Re-program the NIC indirection to the current active-replica set.
+  void update_steering();
+
+ private:
+  void gc_tick();
+  void checkpoint_tick(int replica_id);
+
+  sim::Simulator& sim_;
+  sim::Machine& machine_;
+  nic::Nic& nic_;
+  Config config_;
+  std::unique_ptr<drv::NicDriver> driver_;
+  std::unique_ptr<SyscallServer> syscall_;
+  std::unique_ptr<sim::Process> os_proc_;
+  std::vector<std::unique_ptr<StackReplica>> replicas_;
+  std::vector<ListenRecord> listen_registry_;
+  std::vector<ReplicaFailureListener*> listeners_;
+  std::vector<RecoveryEvent> recovery_log_;
+  /// The "independent data store" checkpoints survive crashes in.
+  std::vector<net::TcpCheckpoint> checkpoints_;
+  sim::Rng rng_;
+  sim::EventHandle gc_timer_;
+};
+
+}  // namespace neat

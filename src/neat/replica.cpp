@@ -1,0 +1,376 @@
+#include "neat/replica.hpp"
+
+namespace neat {
+
+const char* to_string(Component c) {
+  switch (c) {
+    case Component::kIp: return "ip";
+    case Component::kTcp: return "tcp";
+    case Component::kUdp: return "udp";
+    case Component::kFilter: return "pf";
+    case Component::kWhole: return "stack";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// IpLayer
+// ---------------------------------------------------------------------------
+
+IpLayer::IpLayer(net::MacAddr mac, net::Ipv4Addr ip, FrameTx tx_frame)
+    : mac_(mac),
+      ip_(ip),
+      tx_frame_(std::move(tx_frame)),
+      arp_(mac, ip, [this](const net::ArpMessage& m, net::MacAddr dst) {
+        auto pkt = m.encode();
+        net::EthernetHeader eth;
+        eth.src = mac_;
+        eth.dst = dst;
+        eth.type = net::EtherType::kArp;
+        eth.encode(*pkt);
+        tx_frame_(std::move(pkt));
+      }) {}
+
+void IpLayer::send(net::PacketPtr payload, net::IpProto proto,
+                   net::Ipv4Addr src, net::Ipv4Addr dst) {
+  net::Ipv4Header hdr;
+  hdr.src = src;
+  hdr.dst = dst;
+  hdr.proto = proto;
+  hdr.ident = ident_++;
+  // TSO super-segments bypass the MTU check: the NIC slices them.
+  const bool needs_frag =
+      !payload->tso &&
+      payload->size() + net::Ipv4Header::kSize > net::kEthernetMtu;
+
+  auto emit = [this](net::PacketPtr ip_pkt, net::MacAddr dst_mac) {
+    net::EthernetHeader eth;
+    eth.src = mac_;
+    eth.dst = dst_mac;
+    eth.type = net::EtherType::kIpv4;
+    eth.encode(*ip_pkt);
+    tx_frame_(std::move(ip_pkt));
+  };
+
+  arp_.resolve(dst, [this, hdr, needs_frag, payload = std::move(payload),
+                     emit](net::MacAddr mac) mutable {
+    if (needs_frag) {
+      for (auto& frag : net::ipv4_fragment(hdr, *payload, net::kEthernetMtu)) {
+        emit(std::move(frag), mac);
+      }
+    } else {
+      const bool tso = payload->tso;
+      hdr.encode(*payload);
+      payload->tso = tso;
+      emit(std::move(payload), mac);
+    }
+  });
+}
+
+std::optional<IpLayer::Decoded> IpLayer::rx_frame(
+    const net::PacketPtr& frame) {
+  auto eth = net::EthernetHeader::decode(*frame);
+  if (!eth) return std::nullopt;
+  if (eth->type == net::EtherType::kArp) {
+    if (auto msg = net::ArpMessage::decode(*frame)) arp_.handle(*msg);
+    return std::nullopt;
+  }
+  auto hdr = net::Ipv4Header::decode(*frame);
+  if (!hdr) return std::nullopt;
+  if (hdr->dst != ip_) return std::nullopt;  // not ours
+  auto complete = reasm_.add(*hdr, frame);
+  if (!complete) return std::nullopt;
+  return Decoded{complete->header, complete->payload};
+}
+
+void IpLayer::reset() {
+  arp_ = net::ArpResolver(
+      mac_, ip_, [this](const net::ArpMessage& m, net::MacAddr dst) {
+        auto pkt = m.encode();
+        net::EthernetHeader eth;
+        eth.src = mac_;
+        eth.dst = dst;
+        eth.type = net::EtherType::kArp;
+        eth.encode(*pkt);
+        tx_frame_(std::move(pkt));
+      });
+  reasm_.expire_all();
+  ident_ = 1;
+}
+
+// ---------------------------------------------------------------------------
+// SingleComponentReplica
+// ---------------------------------------------------------------------------
+
+SingleComponentReplica::SingleComponentReplica(
+    sim::Simulator& sim, int id, int queue, drv::NicDriver& driver,
+    net::MacAddr mac, net::Ipv4Addr ip, StackCosts costs,
+    net::TcpConfig tcp_cfg)
+    : sim::Process(sim, "neat" + std::to_string(id)),
+      StackReplica(id, queue,
+                   sim.rng().split(0xa5172 + static_cast<std::uint64_t>(id))()),
+      costs_(costs),
+      rng_(sim.rng().split(0x5e9 + static_cast<std::uint64_t>(id))),
+      tx_port_(driver.make_tx_port()),
+      rx_ch_(
+          *this, 2048, ipc::kDefaultChannelLatency,
+          [this](const net::PacketPtr& p) {
+            return costs_.single_rx_base + costs_.bytes_cost(p->size());
+          },
+          [this](net::PacketPtr&& p) { handle_frame(std::move(p)); }),
+      ip_(mac, ip, [this](net::PacketPtr f) { tx_port_(std::move(f)); }),
+      tcp_stack_(*this, ip, tcp_cfg) {}
+
+sim::EventHandle SingleComponentReplica::start_timer(
+    sim::SimTime delay, std::function<void()> fn) {
+  return after(delay, 600, std::move(fn));
+}
+
+void SingleComponentReplica::tx(net::PacketPtr segment, net::Ipv4Addr src,
+                                net::Ipv4Addr dst) {
+  // Charge segment-construction cost in our own context, then hand to IP.
+  const sim::Cycles c =
+      costs_.single_tx_base + costs_.bytes_cost(segment->size());
+  post(c, [this, segment = std::move(segment), src, dst]() mutable {
+    if (dst == ip_.ip()) {
+      // Loopback: each replica implements its own loopback device (§3.3).
+      handle_ip(net::Ipv4Header{src, dst, net::IpProto::kTcp}, segment);
+      return;
+    }
+    ip_.send(std::move(segment), net::IpProto::kTcp, src, dst);
+  });
+}
+
+void SingleComponentReplica::handle_frame(net::PacketPtr frame) {
+  auto decoded = ip_.rx_frame(frame);
+  if (!decoded) return;
+  handle_ip(decoded->hdr, decoded->payload);
+}
+
+void SingleComponentReplica::handle_ip(const net::Ipv4Header& hdr,
+                                       net::PacketPtr payload) {
+  // Packet filter consultation is free when no rules are installed.
+  if (pf_.rule_count() > 0) {
+    std::uint16_t sport = 0;
+    std::uint16_t dport = 0;
+    const auto b = payload->bytes();
+    if ((hdr.proto == net::IpProto::kTcp ||
+         hdr.proto == net::IpProto::kUdp) &&
+        b.size() >= 4) {
+      sport = static_cast<std::uint16_t>(b[0] << 8 | b[1]);
+      dport = static_cast<std::uint16_t>(b[2] << 8 | b[3]);
+    }
+    if (!pf_.accept(hdr.proto, hdr.src, hdr.dst, sport, dport)) return;
+  }
+  switch (hdr.proto) {
+    case net::IpProto::kTcp:
+      tcp_stack_.rx(hdr.src, hdr.dst, std::move(payload));
+      break;
+    case net::IpProto::kUdp: {
+      auto uh = net::UdpHeader::decode(*payload, hdr.src, hdr.dst);
+      if (uh) udp_.deliver(*uh, hdr.src, hdr.dst, std::move(payload));
+      break;
+    }
+    case net::IpProto::kIcmp: {
+      auto icmp = net::IcmpMessage::decode(*payload);
+      if (icmp && icmp->type == net::IcmpMessage::Type::kEchoRequest) {
+        auto reply = net::Packet::of(payload->bytes());
+        net::IcmpMessage r = *icmp;
+        r.type = net::IcmpMessage::Type::kEchoReply;
+        r.encode(*reply);
+        ip_.send(std::move(reply), net::IpProto::kIcmp, hdr.dst, hdr.src);
+      }
+      break;
+    }
+  }
+}
+
+void SingleComponentReplica::on_crash() {
+  // All state dies with the process — silently, as seen from the wire.
+  tcp_stack_.destroy_all_state();
+  ip_.reset();
+}
+
+void SingleComponentReplica::reset_after_restart(Component) {
+  tcp_stack_.destroy_all_state();
+  ip_.reset();
+  pf_.clear();
+  rerandomize_layout();  // a fresh process image -> fresh ASLR layout
+}
+
+// ---------------------------------------------------------------------------
+// Multi-component replica
+// ---------------------------------------------------------------------------
+
+TcpComponent::TcpComponent(sim::Simulator& sim, MultiComponentReplica& owner,
+                           std::string name, net::Ipv4Addr ip,
+                           StackCosts costs, net::TcpConfig cfg)
+    : sim::Process(sim, std::move(name)),
+      owner_(owner),
+      costs_(costs),
+      rng_(sim.rng().split(0x7c9 + static_cast<std::uint64_t>(owner.id()))),
+      tcp_stack_(*this, ip, cfg) {}
+
+sim::EventHandle TcpComponent::start_timer(sim::SimTime delay,
+                                           std::function<void()> fn) {
+  return after(delay, 600, std::move(fn));
+}
+
+void TcpComponent::tx(net::PacketPtr segment, net::Ipv4Addr src,
+                      net::Ipv4Addr dst) {
+  const sim::Cycles c = costs_.tcp_tx_base + costs_.bytes_cost(segment->size());
+  post(c, [this, segment = std::move(segment), src, dst]() mutable {
+    if (dst == tcp_stack_.local_ip()) {
+      // Loopback short-circuits inside the TCP component.
+      post(costs_.tcp_rx_base + costs_.bytes_cost(segment->size()),
+           [this, segment, src, dst]() mutable {
+             tcp_stack_.rx(src, dst, std::move(segment));
+           });
+      return;
+    }
+    owner_.tcp_to_ip_->send(
+        MultiComponentReplica::TcpToIp{std::move(segment), src, dst});
+  });
+}
+
+void TcpComponent::on_crash() { tcp_stack_.destroy_all_state(); }
+
+IpComponent::IpComponent(sim::Simulator& sim, MultiComponentReplica& owner,
+                         std::string name, net::MacAddr mac, net::Ipv4Addr ip,
+                         StackCosts costs, IpLayer::FrameTx tx_frame)
+    : sim::Process(sim, std::move(name)),
+      owner_(owner),
+      costs_(costs),
+      rx_ch_(
+          *this, 2048, ipc::kDefaultChannelLatency,
+          [this](const net::PacketPtr& p) {
+            return costs_.ip_rx_base + costs_.bytes_cost(p->size());
+          },
+          [this](net::PacketPtr&& p) { handle_frame(std::move(p)); }),
+      ip_(mac, ip, std::move(tx_frame)) {}
+
+void IpComponent::handle_frame(net::PacketPtr frame) {
+  auto decoded = ip_.rx_frame(frame);
+  if (!decoded) return;
+  const auto& hdr = decoded->hdr;
+  switch (hdr.proto) {
+    case net::IpProto::kTcp:
+      owner_.ip_to_tcp_->send(MultiComponentReplica::IpToTcp{
+          hdr.src, hdr.dst, std::move(decoded->payload)});
+      break;
+    case net::IpProto::kUdp:
+      owner_.ip_to_udp_->send(MultiComponentReplica::IpToTcp{
+          hdr.src, hdr.dst, std::move(decoded->payload)});
+      break;
+    case net::IpProto::kIcmp: {
+      auto icmp = net::IcmpMessage::decode(*decoded->payload);
+      if (icmp && icmp->type == net::IcmpMessage::Type::kEchoRequest) {
+        auto reply = net::Packet::of(decoded->payload->bytes());
+        net::IcmpMessage r = *icmp;
+        r.type = net::IcmpMessage::Type::kEchoReply;
+        r.encode(*reply);
+        ip_.send(std::move(reply), net::IpProto::kIcmp, hdr.dst, hdr.src);
+      }
+      break;
+    }
+  }
+}
+
+void IpComponent::on_crash() { ip_.reset(); }
+void IpComponent::on_restart() { ip_.reset(); }
+
+UdpComponent::UdpComponent(sim::Simulator& sim, MultiComponentReplica& owner,
+                           std::string name)
+    : sim::Process(sim, std::move(name)), owner_(owner) {
+  (void)owner_;
+}
+
+FilterComponent::FilterComponent(sim::Simulator& sim, std::string name)
+    : sim::Process(sim, std::move(name)) {}
+
+MultiComponentReplica::MultiComponentReplica(
+    sim::Simulator& sim, int id, int queue, drv::NicDriver& driver,
+    net::MacAddr mac, net::Ipv4Addr ip, StackCosts costs,
+    net::TcpConfig tcp_cfg)
+    : StackReplica(id, queue,
+                   sim.rng().split(0xa5173 + static_cast<std::uint64_t>(id))()),
+      costs_(costs) {
+  const std::string base = "multi" + std::to_string(id);
+  drv_tx_ = driver.make_tx_port();
+  tcp_proc_ = std::make_unique<TcpComponent>(sim, *this, base + ".tcp", ip,
+                                             costs, tcp_cfg);
+  ip_proc_ = std::make_unique<IpComponent>(
+      sim, *this, base + ".ip", mac, ip, costs,
+      [tx = drv_tx_](net::PacketPtr f) { tx(std::move(f)); });
+  udp_proc_ = std::make_unique<UdpComponent>(sim, *this, base + ".udp");
+  pf_proc_ = std::make_unique<FilterComponent>(sim, base + ".pf");
+
+  ip_to_tcp_ = std::make_unique<ipc::Channel<IpToTcp>>(
+      *tcp_proc_, 2048, ipc::kDefaultChannelLatency,
+      [this](const IpToTcp& m) {
+        return costs_.tcp_rx_base + costs_.bytes_cost(m.seg->size());
+      },
+      [this](IpToTcp&& m) {
+        tcp_proc_->stack().rx(m.src, m.dst, std::move(m.seg));
+      });
+
+  ip_to_udp_ = std::make_unique<ipc::Channel<IpToTcp>>(
+      *udp_proc_, 512, ipc::kDefaultChannelLatency,
+      [this](const IpToTcp& m) {
+        return costs_.udp_per_packet + costs_.bytes_cost(m.seg->size());
+      },
+      [this](IpToTcp&& m) {
+        auto uh = net::UdpHeader::decode(*m.seg, m.src, m.dst);
+        if (uh) udp_proc_->mux().deliver(*uh, m.src, m.dst, std::move(m.seg));
+      });
+
+  tcp_to_ip_ = std::make_unique<ipc::Channel<TcpToIp>>(
+      *ip_proc_, 2048, ipc::kDefaultChannelLatency,
+      [this](const TcpToIp& m) {
+        return costs_.ip_tx_base + costs_.bytes_cost(m.payload->size());
+      },
+      [this](TcpToIp&& m) {
+        ip_proc_->ip_send(std::move(m.payload), net::IpProto::kTcp, m.src,
+                          m.dst);
+      });
+}
+
+std::vector<sim::Process*> MultiComponentReplica::processes() {
+  return {tcp_proc_.get(), ip_proc_.get(), udp_proc_.get(), pf_proc_.get()};
+}
+
+sim::Process* MultiComponentReplica::component(Component c) {
+  switch (c) {
+    case Component::kTcp: return tcp_proc_.get();
+    case Component::kIp: return ip_proc_.get();
+    case Component::kUdp: return udp_proc_.get();
+    case Component::kFilter: return pf_proc_.get();
+    case Component::kWhole: return tcp_proc_.get();
+  }
+  return nullptr;
+}
+
+void MultiComponentReplica::reset_after_restart(Component which) {
+  switch (which) {
+    case Component::kTcp:
+    case Component::kWhole:
+      tcp_proc_->stack().destroy_all_state();
+      ip_to_tcp_->rebind(*tcp_proc_);
+      rerandomize_layout();
+      break;
+    case Component::kIp:
+      ip_proc_->layer().reset();
+      // In-flight messages towards TCP died with the old incarnation.
+      ip_to_tcp_->rebind(*tcp_proc_);
+      tcp_to_ip_->rebind(*ip_proc_);
+      break;
+    case Component::kUdp:
+      ip_to_udp_->rebind(*udp_proc_);
+      break;
+    case Component::kFilter:
+      pf_proc_->filter().clear();
+      break;
+  }
+}
+
+}  // namespace neat

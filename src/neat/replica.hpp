@@ -1,0 +1,328 @@
+// NEaT stack replicas.
+//
+// A replica is one independent, fully isolated instance of the network
+// stack. It owns a NIC queue pair, a TCP connection table, an ARP cache, an
+// IP layer — and shares *nothing* with its sibling replicas (paper §3).
+//
+// Two compositions exist, selected at build time in the paper and per-host
+// here:
+//   * SingleComponentReplica — driver-facing RX/TX + IP + TCP + UDP + packet
+//     filter in one process ("NEaT Nx" configurations);
+//   * MultiComponentReplica  — vertically split into isolated IP and TCP
+//     processes (plus UDP and PF) for finer fault containment
+//     ("Multi Nx" configurations, Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "drv/driver.hpp"
+#include "ipc/channel.hpp"
+#include "neat/costs.hpp"
+#include "net/arp.hpp"
+#include "net/ethernet.hpp"
+#include "net/filter.hpp"
+#include "net/icmp.hpp"
+#include "net/ipv4.hpp"
+#include "net/packet.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "sim/process.hpp"
+#include "sim/random.hpp"
+
+namespace neat {
+
+/// Which component of a replica (fault-injection targets; Table 3).
+enum class Component { kIp, kTcp, kUdp, kFilter, kWhole };
+
+[[nodiscard]] const char* to_string(Component c);
+
+/// IP layer shared by both replica flavours: encap/decap, ARP, reassembly.
+/// Pure logic — the owning process charges the cycles.
+class IpLayer {
+ public:
+  using FrameTx = std::function<void(net::PacketPtr)>;
+
+  IpLayer(net::MacAddr mac, net::Ipv4Addr ip, FrameTx tx_frame);
+
+  /// Encapsulate (IP + Ethernet, ARP-resolved) and transmit.
+  void send(net::PacketPtr payload, net::IpProto proto, net::Ipv4Addr src,
+            net::Ipv4Addr dst);
+
+  struct Decoded {
+    net::Ipv4Header hdr;
+    net::PacketPtr payload;
+  };
+
+  /// Process one Ethernet frame. ARP is consumed internally; a complete
+  /// IPv4 datagram (post-reassembly) is returned.
+  std::optional<Decoded> rx_frame(const net::PacketPtr& frame);
+
+  [[nodiscard]] net::ArpResolver& arp() { return arp_; }
+  [[nodiscard]] net::Ipv4Addr ip() const { return ip_; }
+  [[nodiscard]] net::MacAddr mac() const { return mac_; }
+
+  /// Forget all soft state (crash recovery): ARP cache, partial datagrams.
+  void reset();
+
+ private:
+  net::MacAddr mac_;
+  net::Ipv4Addr ip_;
+  FrameTx tx_frame_;
+  net::ArpResolver arp_;
+  net::Ipv4Reassembler reasm_;
+  std::uint16_t ident_{1};
+};
+
+/// Abstract replica as seen by the host manager, SYSCALL server and the
+/// socket library.
+class StackReplica {
+ public:
+  virtual ~StackReplica() = default;
+
+  [[nodiscard]] virtual net::TcpStack& tcp() = 0;
+  /// The process hosting the TCP state (doorbell consumer for sockets).
+  [[nodiscard]] virtual sim::Process& tcp_process() = 0;
+  /// Channel the driver delivers this replica's packets into.
+  [[nodiscard]] virtual ipc::Channel<net::PacketPtr>& rx_channel() = 0;
+  [[nodiscard]] virtual net::PacketFilter& filter() = 0;
+  [[nodiscard]] virtual net::UdpMux& udp() = 0;
+  /// All component processes (fault-injection / placement).
+  [[nodiscard]] virtual std::vector<sim::Process*> processes() = 0;
+  [[nodiscard]] virtual sim::Process* component(Component c) = 0;
+  [[nodiscard]] virtual const char* kind() const = 0;
+  [[nodiscard]] virtual IpLayer& ip_layer_ref() = 0;
+
+  [[nodiscard]] int queue() const { return queue_; }
+  [[nodiscard]] int id() const { return id_; }
+
+  /// Lazy-termination mark (§3.4): no *new* connections, existing served.
+  bool terminating{false};
+  /// Set once the terminating replica drained and was collected.
+  bool terminated{false};
+
+  /// The replica's address-space layout token (§3.8): each replica is
+  /// created with ASLR enabled, so semantically equivalent replicas have
+  /// unpredictably different memory layouts, and every restart draws a new
+  /// one. Binding each connection to a random replica then re-randomizes
+  /// the layout an attacker probes across connections.
+  [[nodiscard]] std::uint64_t aslr_layout() const { return aslr_layout_; }
+
+  /// Invoked (by the host) after a crash+restart cycle of the TCP-bearing
+  /// process to clear any residual soft state.
+  virtual void reset_after_restart(Component which) = 0;
+
+ protected:
+  StackReplica(int id, int queue, std::uint64_t aslr_seed)
+      : queue_(queue), id_(id), aslr_rng_(aslr_seed) {
+    aslr_layout_ = aslr_rng_();
+  }
+  /// Called on restart: a fresh process image gets a fresh layout.
+  void rerandomize_layout() { aslr_layout_ = aslr_rng_(); }
+
+  int queue_;
+  int id_;
+  sim::Rng aslr_rng_;
+  std::uint64_t aslr_layout_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Single-component replica
+// ---------------------------------------------------------------------------
+
+class SingleComponentReplica final : public sim::Process,
+                                     public net::TcpEnv,
+                                     public StackReplica {
+ public:
+  SingleComponentReplica(sim::Simulator& sim, int id, int queue,
+                         drv::NicDriver& driver, net::MacAddr mac,
+                         net::Ipv4Addr ip, StackCosts costs,
+                         net::TcpConfig tcp_cfg);
+
+  // StackReplica
+  net::TcpStack& tcp() override { return tcp_stack_; }
+  sim::Process& tcp_process() override { return *this; }
+  ipc::Channel<net::PacketPtr>& rx_channel() override { return rx_ch_; }
+  net::PacketFilter& filter() override { return pf_; }
+  net::UdpMux& udp() override { return udp_; }
+  std::vector<sim::Process*> processes() override { return {this}; }
+  sim::Process* component(Component) override { return this; }
+  const char* kind() const override { return "single"; }
+  IpLayer& ip_layer_ref() override { return ip_; }
+  void reset_after_restart(Component) override;
+
+  // TcpEnv
+  sim::SimTime now() override { return sim().now(); }
+  sim::EventHandle start_timer(sim::SimTime delay,
+                               std::function<void()> fn) override;
+  void tx(net::PacketPtr segment, net::Ipv4Addr src,
+          net::Ipv4Addr dst) override;
+  std::uint32_t random_u32() override {
+    return static_cast<std::uint32_t>(rng_());
+  }
+
+  [[nodiscard]] IpLayer& ip_layer() { return ip_; }
+
+ protected:
+  void on_crash() override;
+
+ private:
+  void handle_frame(net::PacketPtr frame);
+  void handle_ip(const net::Ipv4Header& hdr, net::PacketPtr payload);
+
+  StackCosts costs_;
+  sim::Rng rng_;
+  drv::NicDriver::TxPort tx_port_;     // → driver (or NIC, when offloaded)
+  ipc::Channel<net::PacketPtr> rx_ch_;  // driver → this
+  IpLayer ip_;
+  net::TcpStack tcp_stack_;
+  net::UdpMux udp_;
+  net::PacketFilter pf_;
+};
+
+// ---------------------------------------------------------------------------
+// Multi-component replica
+// ---------------------------------------------------------------------------
+
+class MultiComponentReplica;
+
+/// The TCP process of a multi-component replica.
+class TcpComponent final : public sim::Process, public net::TcpEnv {
+ public:
+  TcpComponent(sim::Simulator& sim, MultiComponentReplica& owner,
+               std::string name, net::Ipv4Addr ip, StackCosts costs,
+               net::TcpConfig cfg);
+
+  [[nodiscard]] net::TcpStack& stack() { return tcp_stack_; }
+
+  // TcpEnv
+  sim::SimTime now() override { return sim().now(); }
+  sim::EventHandle start_timer(sim::SimTime delay,
+                               std::function<void()> fn) override;
+  void tx(net::PacketPtr segment, net::Ipv4Addr src,
+          net::Ipv4Addr dst) override;
+  std::uint32_t random_u32() override {
+    return static_cast<std::uint32_t>(rng_());
+  }
+
+ protected:
+  void on_crash() override;
+
+ private:
+  MultiComponentReplica& owner_;
+  StackCosts costs_;
+  sim::Rng rng_;
+  net::TcpStack tcp_stack_;
+};
+
+/// The IP process: eth/ARP/IP handling between the driver and transports.
+class IpComponent final : public sim::Process {
+ public:
+  IpComponent(sim::Simulator& sim, MultiComponentReplica& owner,
+              std::string name, net::MacAddr mac, net::Ipv4Addr ip,
+              StackCosts costs, IpLayer::FrameTx tx_frame);
+
+  [[nodiscard]] IpLayer& layer() { return ip_; }
+  [[nodiscard]] ipc::Channel<net::PacketPtr>& rx_channel() { return rx_ch_; }
+
+  /// Transport-originated transmit (runs in IP context via tx channel).
+  void ip_send(net::PacketPtr payload, net::IpProto proto, net::Ipv4Addr src,
+               net::Ipv4Addr dst) {
+    ip_.send(std::move(payload), proto, src, dst);
+  }
+
+ protected:
+  void on_crash() override;
+  void on_restart() override;
+
+ private:
+  void handle_frame(net::PacketPtr frame);
+
+  MultiComponentReplica& owner_;
+  StackCosts costs_;
+  std::unique_ptr<ipc::Channel<net::PacketPtr>> tx_ch_;  // → driver
+  ipc::Channel<net::PacketPtr> rx_ch_;                   // driver → this
+  IpLayer ip_;
+};
+
+/// The UDP process (stateless; trivially recoverable).
+class UdpComponent final : public sim::Process {
+ public:
+  UdpComponent(sim::Simulator& sim, MultiComponentReplica& owner,
+               std::string name);
+  [[nodiscard]] net::UdpMux& mux() { return mux_; }
+
+ private:
+  MultiComponentReplica& owner_;
+  net::UdpMux mux_;
+};
+
+/// The packet-filter process (stateless rules, reloaded on restart).
+class FilterComponent final : public sim::Process {
+ public:
+  FilterComponent(sim::Simulator& sim, std::string name);
+  [[nodiscard]] net::PacketFilter& filter() { return pf_; }
+
+ protected:
+  void on_restart() override { /* rules are config: reloaded by owner */ }
+
+ private:
+  net::PacketFilter pf_;
+};
+
+/// Assembly of the four processes + the channels between them.
+class MultiComponentReplica final : public StackReplica {
+ public:
+  MultiComponentReplica(sim::Simulator& sim, int id, int queue,
+                        drv::NicDriver& driver, net::MacAddr mac,
+                        net::Ipv4Addr ip, StackCosts costs,
+                        net::TcpConfig tcp_cfg);
+
+  net::TcpStack& tcp() override { return tcp_proc_->stack(); }
+  sim::Process& tcp_process() override { return *tcp_proc_; }
+  ipc::Channel<net::PacketPtr>& rx_channel() override {
+    return ip_proc_->rx_channel();
+  }
+  net::PacketFilter& filter() override { return pf_proc_->filter(); }
+  net::UdpMux& udp() override { return udp_proc_->mux(); }
+  std::vector<sim::Process*> processes() override;
+  sim::Process* component(Component c) override;
+  const char* kind() const override { return "multi"; }
+  IpLayer& ip_layer_ref() override { return ip_proc_->layer(); }
+  void reset_after_restart(Component which) override;
+
+  [[nodiscard]] IpComponent& ip_component() { return *ip_proc_; }
+  [[nodiscard]] TcpComponent& tcp_component() { return *tcp_proc_; }
+
+ private:
+  friend class TcpComponent;
+  friend class IpComponent;
+  friend class UdpComponent;
+
+  // Inter-component messages.
+  struct IpToTcp {
+    net::Ipv4Addr src;
+    net::Ipv4Addr dst;
+    net::PacketPtr seg;
+  };
+  struct TcpToIp {
+    net::PacketPtr payload;
+    net::Ipv4Addr src;
+    net::Ipv4Addr dst;
+  };
+
+  StackCosts costs_;
+  drv::NicDriver::TxPort drv_tx_;
+  std::unique_ptr<TcpComponent> tcp_proc_;
+  std::unique_ptr<IpComponent> ip_proc_;
+  std::unique_ptr<UdpComponent> udp_proc_;
+  std::unique_ptr<FilterComponent> pf_proc_;
+  std::unique_ptr<ipc::Channel<IpToTcp>> ip_to_tcp_;
+  std::unique_ptr<ipc::Channel<TcpToIp>> tcp_to_ip_;
+  std::unique_ptr<ipc::Channel<IpToTcp>> ip_to_udp_;
+};
+
+}  // namespace neat

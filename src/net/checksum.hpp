@@ -1,0 +1,84 @@
+// RFC 1071 Internet checksum, with the TCP/UDP pseudo-header variant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/addr.hpp"
+
+namespace neat::net {
+
+/// Incremental ones-complement sum accumulator.
+class ChecksumAccumulator {
+ public:
+  void add(std::span<const std::uint8_t> data) {
+    std::size_t i = 0;
+    if (odd_ && !data.empty()) {
+      // Pair the dangling byte from the previous chunk with this one.
+      sum_ += static_cast<std::uint32_t>(pending_) << 8 | data[0];
+      odd_ = false;
+      i = 1;
+    }
+    for (; i + 1 < data.size(); i += 2) {
+      sum_ += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+    }
+    if (i < data.size()) {
+      pending_ = data[i];
+      odd_ = true;
+    }
+  }
+
+  void add_u16(std::uint16_t v) {
+    std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8),
+                         static_cast<std::uint8_t>(v)};
+    add({b, 2});
+  }
+
+  void add_u32(std::uint32_t v) {
+    add_u16(static_cast<std::uint16_t>(v >> 16));
+    add_u16(static_cast<std::uint16_t>(v));
+  }
+
+  /// Final ones-complement checksum (already inverted, ready for the wire).
+  [[nodiscard]] std::uint16_t finish() const {
+    std::uint64_t s = sum_;
+    if (odd_) s += static_cast<std::uint32_t>(pending_) << 8;
+    while (s >> 16) s = (s & 0xffff) + (s >> 16);
+    return static_cast<std::uint16_t>(~s);
+  }
+
+ private:
+  std::uint64_t sum_{0};
+  std::uint8_t pending_{0};
+  bool odd_{false};
+};
+
+/// Plain checksum over a buffer (IPv4 header checksum).
+[[nodiscard]] inline std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> data) {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+/// Transport checksum with IPv4 pseudo-header (TCP=6, UDP=17).
+[[nodiscard]] inline std::uint16_t transport_checksum(
+    Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
+    std::span<const std::uint8_t> segment) {
+  ChecksumAccumulator acc;
+  acc.add_u32(src.value);
+  acc.add_u32(dst.value);
+  acc.add_u16(protocol);
+  acc.add_u16(static_cast<std::uint16_t>(segment.size()));
+  acc.add(segment);
+  return acc.finish();
+}
+
+/// Verify: summing a buffer whose checksum field is filled must give 0.
+[[nodiscard]] inline bool verify_transport_checksum(
+    Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
+    std::span<const std::uint8_t> segment) {
+  return transport_checksum(src, dst, protocol, segment) == 0;
+}
+
+}  // namespace neat::net

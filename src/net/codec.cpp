@@ -1,0 +1,268 @@
+// Wire codecs for addresses, Ethernet, IPv4 and ARP.
+#include <algorithm>
+#include <cstdio>
+
+#include "net/addr.hpp"
+#include "net/arp.hpp"
+#include "net/checksum.hpp"
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "net/wire.hpp"
+
+namespace neat::net {
+
+// ---------------------------------------------------------------------------
+// Address formatting
+// ---------------------------------------------------------------------------
+
+std::string MacAddr::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+std::string Ipv4Addr::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value >> 24 & 0xff,
+                value >> 16 & 0xff, value >> 8 & 0xff, value & 0xff);
+  return buf;
+}
+
+std::string SockAddr::str() const {
+  return ip.str() + ":" + std::to_string(port);
+}
+
+std::string FlowKey::str() const {
+  return SockAddr{local_ip, local_port}.str() + "<->" +
+         SockAddr{remote_ip, remote_port}.str();
+}
+
+// ---------------------------------------------------------------------------
+// Ethernet
+// ---------------------------------------------------------------------------
+
+void EthernetHeader::encode(Packet& pkt) const {
+  auto b = pkt.push(kSize);
+  std::copy(dst.bytes.begin(), dst.bytes.end(), b.begin());
+  std::copy(src.bytes.begin(), src.bytes.end(), b.begin() + 6);
+  put_u16(b, 12, static_cast<std::uint16_t>(type));
+}
+
+std::optional<EthernetHeader> EthernetHeader::decode(Packet& pkt) {
+  if (pkt.size() < kSize) return std::nullopt;
+  auto b = pkt.pull(kSize);
+  EthernetHeader h;
+  std::copy(b.begin(), b.begin() + 6, h.dst.bytes.begin());
+  std::copy(b.begin() + 6, b.begin() + 12, h.src.bytes.begin());
+  const auto t = get_u16(b, 12);
+  if (t != static_cast<std::uint16_t>(EtherType::kIpv4) &&
+      t != static_cast<std::uint16_t>(EtherType::kArp)) {
+    return std::nullopt;
+  }
+  h.type = static_cast<EtherType>(t);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// IPv4
+// ---------------------------------------------------------------------------
+
+void Ipv4Header::encode(Packet& pkt) const {
+  const auto total = static_cast<std::uint16_t>(pkt.size() + kSize);
+  auto b = pkt.push(kSize);
+  put_u8(b, 0, 0x45);  // version 4, IHL 5
+  put_u8(b, 1, 0);     // DSCP/ECN
+  put_u16(b, 2, total);
+  put_u16(b, 4, ident);
+  std::uint16_t flags_frag = fragment_offset & 0x1fff;
+  if (dont_fragment) flags_frag |= 0x4000;
+  if (more_fragments) flags_frag |= 0x2000;
+  put_u16(b, 6, flags_frag);
+  put_u8(b, 8, ttl);
+  put_u8(b, 9, static_cast<std::uint8_t>(proto));
+  put_u16(b, 10, 0);  // checksum placeholder
+  put_u32(b, 12, src.value);
+  put_u32(b, 16, dst.value);
+  put_u16(b, 10, internet_checksum(b.subspan(0, kSize)));
+}
+
+std::optional<Ipv4Header> Ipv4Header::decode(Packet& pkt) {
+  if (pkt.size() < kSize) return std::nullopt;
+  auto whole = pkt.bytes();
+  const std::uint8_t vihl = whole[0];
+  if ((vihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(vihl & 0x0f) * 4;
+  if (ihl < kSize || pkt.size() < ihl) return std::nullopt;
+  if (internet_checksum(whole.subspan(0, ihl)) != 0) return std::nullopt;
+
+  Ipv4Header h;
+  h.total_length = get_u16(whole, 2);
+  if (h.total_length < ihl || h.total_length > pkt.size()) return std::nullopt;
+  h.ident = get_u16(whole, 4);
+  const std::uint16_t ff = get_u16(whole, 6);
+  h.dont_fragment = (ff & 0x4000) != 0;
+  h.more_fragments = (ff & 0x2000) != 0;
+  h.fragment_offset = ff & 0x1fff;
+  h.ttl = get_u8(whole, 8);
+  h.proto = static_cast<IpProto>(get_u8(whole, 9));
+  h.src = Ipv4Addr{get_u32(whole, 12)};
+  h.dst = Ipv4Addr{get_u32(whole, 16)};
+
+  pkt.truncate(h.total_length);  // strip link-layer padding
+  pkt.pull(ihl);
+  return h;
+}
+
+std::vector<PacketPtr> ipv4_fragment(const Ipv4Header& hdr,
+                                     const Packet& payload, std::size_t mtu) {
+  std::vector<PacketPtr> out;
+  const std::size_t max_data = (mtu - Ipv4Header::kSize) & ~std::size_t{7};
+  const auto data = payload.bytes();
+  if (data.size() + Ipv4Header::kSize <= mtu) {
+    auto p = Packet::of(data);
+    Ipv4Header h = hdr;
+    h.more_fragments = false;
+    h.fragment_offset = 0;
+    h.encode(*p);
+    out.push_back(std::move(p));
+    return out;
+  }
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t n = std::min(max_data, data.size() - off);
+    auto p = Packet::of(data.subspan(off, n));
+    Ipv4Header h = hdr;
+    h.dont_fragment = false;
+    h.fragment_offset = static_cast<std::uint16_t>(off / 8);
+    h.more_fragments = off + n < data.size();
+    h.encode(*p);
+    out.push_back(std::move(p));
+    off += n;
+  }
+  return out;
+}
+
+std::optional<Ipv4Reassembler::Result> Ipv4Reassembler::add(
+    const Ipv4Header& hdr, const PacketPtr& payload) {
+  if (!hdr.more_fragments && hdr.fragment_offset == 0) {
+    return Result{hdr, payload};  // unfragmented fast path
+  }
+  const Key key{hdr.src.value, hdr.dst.value, hdr.ident,
+                static_cast<std::uint8_t>(hdr.proto)};
+  if (partial_.size() >= max_datagrams_ && !partial_.contains(key)) {
+    partial_.erase(partial_.begin());  // evict oldest-keyed (bounded memory)
+  }
+  Partial& part = partial_[key];
+  if (hdr.fragment_offset == 0) part.first_header = hdr;
+  auto data = payload->bytes();
+  part.frags[hdr.fragment_offset].assign(data.begin(), data.end());
+  if (!hdr.more_fragments) {
+    part.total_len = static_cast<std::uint16_t>(hdr.fragment_offset * 8 +
+                                                data.size());
+  }
+  if (!part.total_len) return std::nullopt;
+
+  // Check contiguity.
+  std::size_t expect = 0;
+  for (const auto& [off, bytes] : part.frags) {
+    if (static_cast<std::size_t>(off) * 8 != expect) return std::nullopt;
+    expect += bytes.size();
+  }
+  if (expect != *part.total_len) return std::nullopt;
+
+  auto whole = Packet::make(expect);
+  auto out = whole->bytes();
+  std::size_t pos = 0;
+  for (const auto& [off, bytes] : part.frags) {
+    std::copy(bytes.begin(), bytes.end(), out.begin() + static_cast<long>(pos));
+    pos += bytes.size();
+  }
+  Ipv4Header h = part.first_header;
+  h.more_fragments = false;
+  h.fragment_offset = 0;
+  partial_.erase(key);
+  return Result{h, whole};
+}
+
+// ---------------------------------------------------------------------------
+// ARP
+// ---------------------------------------------------------------------------
+
+PacketPtr ArpMessage::encode() const {
+  auto p = Packet::make(kSize);
+  auto b = p->bytes();
+  put_u16(b, 0, 1);       // HTYPE Ethernet
+  put_u16(b, 2, 0x0800);  // PTYPE IPv4
+  put_u8(b, 4, 6);        // HLEN
+  put_u8(b, 5, 4);        // PLEN
+  put_u16(b, 6, static_cast<std::uint16_t>(op));
+  std::copy(sender_mac.bytes.begin(), sender_mac.bytes.end(), b.begin() + 8);
+  put_u32(b, 14, sender_ip.value);
+  std::copy(target_mac.bytes.begin(), target_mac.bytes.end(), b.begin() + 18);
+  put_u32(b, 24, target_ip.value);
+  return p;
+}
+
+std::optional<ArpMessage> ArpMessage::decode(Packet& pkt) {
+  if (pkt.size() < kSize) return std::nullopt;
+  auto b = pkt.pull(kSize);
+  if (get_u16(b, 0) != 1 || get_u16(b, 2) != 0x0800) return std::nullopt;
+  ArpMessage m;
+  const auto op = get_u16(b, 6);
+  if (op != 1 && op != 2) return std::nullopt;
+  m.op = static_cast<Op>(op);
+  std::copy(b.begin() + 8, b.begin() + 14, m.sender_mac.bytes.begin());
+  m.sender_ip = Ipv4Addr{get_u32(b, 14)};
+  std::copy(b.begin() + 18, b.begin() + 24, m.target_mac.bytes.begin());
+  m.target_ip = Ipv4Addr{get_u32(b, 24)};
+  return m;
+}
+
+void ArpResolver::resolve(Ipv4Addr ip, Resolved cb) {
+  if (auto it = cache_.find(ip); it != cache_.end()) {
+    cb(it->second);
+    return;
+  }
+  const bool already_asking = waiting_.contains(ip);
+  waiting_[ip].push_back(std::move(cb));
+  if (!already_asking) {
+    ArpMessage req;
+    req.op = ArpMessage::Op::kRequest;
+    req.sender_mac = mac_;
+    req.sender_ip = ip_;
+    req.target_mac = MacAddr{};
+    req.target_ip = ip;
+    tx_(req, MacAddr::broadcast());
+  }
+}
+
+void ArpResolver::handle(const ArpMessage& msg) {
+  // Learn the sender mapping (also from gratuitous ARP).
+  if (!msg.sender_ip.is_any()) {
+    cache_[msg.sender_ip] = msg.sender_mac;
+    if (auto it = waiting_.find(msg.sender_ip); it != waiting_.end()) {
+      auto cbs = std::move(it->second);
+      waiting_.erase(it);
+      for (auto& cb : cbs) cb(msg.sender_mac);
+    }
+  }
+  if (msg.op == ArpMessage::Op::kRequest && msg.target_ip == ip_) {
+    ArpMessage reply;
+    reply.op = ArpMessage::Op::kReply;
+    reply.sender_mac = mac_;
+    reply.sender_ip = ip_;
+    reply.target_mac = msg.sender_mac;
+    reply.target_ip = msg.sender_ip;
+    tx_(reply, msg.sender_mac);
+  }
+}
+
+void ArpResolver::insert(Ipv4Addr ip, MacAddr mac) { cache_[ip] = mac; }
+
+std::optional<MacAddr> ArpResolver::lookup(Ipv4Addr ip) const {
+  if (auto it = cache_.find(ip); it != cache_.end()) return it->second;
+  return std::nullopt;
+}
+
+}  // namespace neat::net

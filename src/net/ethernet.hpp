@@ -1,0 +1,40 @@
+// Ethernet II framing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.hpp"
+#include "net/packet.hpp"
+
+namespace neat::net {
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddr dst;
+  MacAddr src;
+  EtherType type{EtherType::kIpv4};
+
+  /// Prepend this header to `pkt`.
+  void encode(Packet& pkt) const;
+
+  /// Parse and consume the header from the front of `pkt`.
+  [[nodiscard]] static std::optional<EthernetHeader> decode(Packet& pkt);
+};
+
+/// Standard Ethernet MTU (payload bytes available to IP).
+inline constexpr std::size_t kEthernetMtu = 1500;
+
+/// Minimum frame payload (we account padding in wire time, not in buffers).
+inline constexpr std::size_t kEthernetMinPayload = 46;
+
+/// Per-frame wire overhead: preamble(8) + header(14) + FCS(4) + IFG(12).
+inline constexpr std::size_t kEthernetWireOverhead = 38;
+
+}  // namespace neat::net

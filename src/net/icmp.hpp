@@ -1,0 +1,33 @@
+// ICMP echo (ping) and error message codec — the subset a server stack needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.hpp"
+#include "net/packet.hpp"
+
+namespace neat::net {
+
+struct IcmpMessage {
+  static constexpr std::size_t kHeaderSize = 8;
+
+  enum class Type : std::uint8_t {
+    kEchoReply = 0,
+    kDestUnreachable = 3,
+    kEchoRequest = 8,
+  };
+
+  Type type{Type::kEchoRequest};
+  std::uint8_t code{0};
+  std::uint16_t ident{0};
+  std::uint16_t seq{0};
+
+  /// Prepend the header to `pkt` (payload already present) with checksum.
+  void encode(Packet& pkt) const;
+
+  /// Parse + consume; verifies checksum.
+  [[nodiscard]] static std::optional<IcmpMessage> decode(Packet& pkt);
+};
+
+}  // namespace neat::net

@@ -1,0 +1,84 @@
+// IPv4: header codec, fragmentation and reassembly, protocol demux.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/packet.hpp"
+
+namespace neat::net {
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  // we do not emit IP options
+
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  IpProto proto{IpProto::kTcp};
+  std::uint8_t ttl{64};
+  std::uint16_t ident{0};
+  std::uint16_t total_length{0};  // filled by encode from packet size
+  bool dont_fragment{true};
+  bool more_fragments{false};
+  std::uint16_t fragment_offset{0};  // in 8-byte units
+
+  /// Prepend the header (computes total_length & checksum).
+  void encode(Packet& pkt) const;
+
+  /// Parse + consume from the front of `pkt`; verifies checksum and trims
+  /// link-layer padding to total_length. Returns nullopt on corruption.
+  [[nodiscard]] static std::optional<Ipv4Header> decode(Packet& pkt);
+};
+
+/// Splits an IP payload into fragments fitting `mtu`. Returns packets that
+/// each already carry their IPv4 header.
+[[nodiscard]] std::vector<PacketPtr> ipv4_fragment(const Ipv4Header& hdr,
+                                                   const Packet& payload,
+                                                   std::size_t mtu);
+
+/// Reassembly buffer for fragmented datagrams, keyed by (src,dst,proto,id).
+class Ipv4Reassembler {
+ public:
+  struct Result {
+    Ipv4Header header;
+    PacketPtr payload;
+  };
+
+  explicit Ipv4Reassembler(std::size_t max_datagrams = 256)
+      : max_datagrams_(max_datagrams) {}
+
+  /// Feed one fragment (header already decoded, pkt = payload only).
+  /// Returns the reassembled datagram when complete.
+  std::optional<Result> add(const Ipv4Header& hdr, const PacketPtr& payload);
+
+  /// Drop partial datagrams older than the caller's deadline policy.
+  void expire_all() { partial_.clear(); }
+
+  [[nodiscard]] std::size_t pending() const { return partial_.size(); }
+
+ private:
+  struct Key {
+    std::uint32_t src, dst;
+    std::uint16_t id;
+    std::uint8_t proto;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Partial {
+    std::map<std::uint16_t, std::vector<std::uint8_t>> frags;  // off->bytes
+    std::optional<std::uint16_t> total_len;
+    Ipv4Header first_header;
+  };
+  std::map<Key, Partial> partial_;
+  std::size_t max_datagrams_;
+};
+
+}  // namespace neat::net

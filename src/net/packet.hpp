@@ -1,0 +1,93 @@
+// Packet buffer with headroom for in-place header push/pull.
+//
+// Packets are real byte strings: every layer serializes a genuine wire
+// header (checksums included) on transmit and parses it on receive, so the
+// protocol code in this repository is testable against the actual formats —
+// only the passage of time is simulated.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace neat::net {
+
+class Packet;
+using PacketPtr = std::shared_ptr<Packet>;
+
+class Packet {
+ public:
+  static constexpr std::size_t kDefaultHeadroom = 64;
+
+  /// Allocate with `payload` bytes of content and room to prepend headers.
+  [[nodiscard]] static PacketPtr make(std::size_t payload,
+                                      std::size_t headroom = kDefaultHeadroom) {
+    return std::make_shared<Packet>(payload, headroom);
+  }
+
+  /// Allocate with content copied from `data`.
+  [[nodiscard]] static PacketPtr of(std::span<const std::uint8_t> data,
+                                    std::size_t headroom = kDefaultHeadroom) {
+    auto p = make(data.size(), headroom);
+    auto b = p->bytes();
+    for (std::size_t i = 0; i < data.size(); ++i) b[i] = data[i];
+    return p;
+  }
+
+  Packet(std::size_t payload, std::size_t headroom)
+      : buf_(headroom + payload), head_(headroom) {}
+
+  /// Deep copy (duplication injection, loopback).
+  [[nodiscard]] PacketPtr clone() const {
+    auto p = std::make_shared<Packet>(*this);
+    return p;
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+
+  [[nodiscard]] std::span<std::uint8_t> bytes() {
+    return {buf_.data() + head_, size()};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {buf_.data() + head_, size()};
+  }
+
+  /// Prepend `n` bytes (push a header); returns the new front region.
+  std::span<std::uint8_t> push(std::size_t n) {
+    assert(head_ >= n && "insufficient headroom");
+    head_ -= n;
+    return {buf_.data() + head_, n};
+  }
+
+  /// Consume `n` bytes from the front (pop a header); returns them.
+  std::span<const std::uint8_t> pull(std::size_t n) {
+    assert(size() >= n && "pulling past end of packet");
+    auto r = std::span<const std::uint8_t>{buf_.data() + head_, n};
+    head_ += n;
+    return r;
+  }
+
+  /// Trim the packet to `n` bytes of content (drop trailing padding).
+  void truncate(std::size_t n) {
+    assert(n <= size());
+    buf_.resize(head_ + n);
+  }
+
+  // --- out-of-band metadata (not on the wire) -----------------------------
+
+  /// NIC RX queue this packet was steered to; -1 before classification.
+  int rx_queue{-1};
+  /// True when this buffer is a TSO super-segment that the NIC will cut
+  /// into MTU-sized frames on the wire (we charge wire time for the total).
+  bool tso{false};
+  /// Ingress timestamp set by the NIC (for latency accounting in tests).
+  std::uint64_t nic_rx_time{0};
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_;
+};
+
+}  // namespace neat::net

@@ -1,0 +1,923 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/checksum.hpp"
+#include "net/ipv4.hpp"
+#include "net/wire.hpp"
+
+namespace neat::net {
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+void TcpHeader::encode(Packet& pkt, Ipv4Addr src, Ipv4Addr dst) const {
+  const std::size_t opts = mss_option ? 4 : 0;
+  const std::size_t hlen = kMinSize + opts;
+  auto b = pkt.push(hlen);
+  put_u16(b, 0, src_port);
+  put_u16(b, 2, dst_port);
+  put_u32(b, 4, seq);
+  put_u32(b, 8, ack_flag ? ack : 0);
+  put_u8(b, 12, static_cast<std::uint8_t>((hlen / 4) << 4));
+  std::uint8_t flags = 0;
+  if (fin) flags |= 0x01;
+  if (syn) flags |= 0x02;
+  if (rst) flags |= 0x04;
+  if (psh) flags |= 0x08;
+  if (ack_flag) flags |= 0x10;
+  put_u8(b, 13, flags);
+  put_u16(b, 14, window);
+  put_u16(b, 16, 0);  // checksum placeholder
+  put_u16(b, 18, 0);  // urgent pointer
+  if (mss_option) {
+    put_u8(b, 20, 2);  // kind: MSS
+    put_u8(b, 21, 4);  // length
+    put_u16(b, 22, *mss_option);
+  }
+  put_u16(pkt.bytes(), 16,
+          transport_checksum(src, dst, static_cast<std::uint8_t>(IpProto::kTcp),
+                             pkt.bytes()));
+}
+
+std::optional<TcpHeader> TcpHeader::decode(Packet& pkt, Ipv4Addr src,
+                                           Ipv4Addr dst) {
+  if (pkt.size() < kMinSize) return std::nullopt;
+  if (!verify_transport_checksum(
+          src, dst, static_cast<std::uint8_t>(IpProto::kTcp), pkt.bytes())) {
+    return std::nullopt;
+  }
+  auto whole = pkt.bytes();
+  const std::size_t hlen = static_cast<std::size_t>(whole[12] >> 4) * 4;
+  if (hlen < kMinSize || hlen > pkt.size()) return std::nullopt;
+
+  TcpHeader h;
+  h.src_port = get_u16(whole, 0);
+  h.dst_port = get_u16(whole, 2);
+  h.seq = get_u32(whole, 4);
+  h.ack = get_u32(whole, 8);
+  const std::uint8_t flags = whole[13];
+  h.fin = flags & 0x01;
+  h.syn = flags & 0x02;
+  h.rst = flags & 0x04;
+  h.psh = flags & 0x08;
+  h.ack_flag = flags & 0x10;
+  h.window = get_u16(whole, 14);
+
+  // Parse options (we understand MSS; skip the rest).
+  std::size_t off = kMinSize;
+  while (off < hlen) {
+    const std::uint8_t kind = whole[off];
+    if (kind == 0) break;   // end of options
+    if (kind == 1) {        // NOP
+      ++off;
+      continue;
+    }
+    if (off + 1 >= hlen) break;
+    const std::uint8_t len = whole[off + 1];
+    if (len < 2 || off + len > hlen) break;
+    if (kind == 2 && len == 4) h.mss_option = get_u16(whole, off + 2);
+    off += len;
+  }
+  pkt.pull(hlen);
+  return h;
+}
+
+const char* to_string(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRcvd: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// TcpSocket
+// ---------------------------------------------------------------------------
+
+TcpSocket::TcpSocket(TcpStack& stack, FlowKey flow, const TcpConfig& cfg)
+    : stack_(stack),
+      flow_(flow),
+      cfg_(cfg),
+      send_ring_(cfg.send_buf),
+      ssthresh_(cfg.recv_buf * 64),  // effectively "infinite" until first loss
+      rto_(cfg.rto_initial),
+      recv_ring_(cfg.recv_buf) {
+  cwnd_ = cfg_.initial_cwnd_segments * cfg_.mss;
+}
+
+TcpSocket::~TcpSocket() {
+  rto_timer_.cancel();
+  ack_timer_.cancel();
+  time_wait_timer_.cancel();
+}
+
+std::size_t TcpSocket::send_space() const { return send_ring_.writable(); }
+
+std::size_t TcpSocket::effective_mss() const {
+  return std::min<std::size_t>(cfg_.mss, peer_mss_);
+}
+
+std::uint16_t TcpSocket::advertised_window() const {
+  return static_cast<std::uint16_t>(
+      std::min<std::size_t>(recv_ring_.writable(), 65535));
+}
+
+void TcpSocket::start_active_open() {
+  iss_ = stack_.env().random_u32();
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  state_ = TcpState::kSynSent;
+  ++stack_.stats_.conns_initiated;
+  emit_segment(iss_, 0, /*fin=*/false, /*syn=*/true, /*force_ack=*/false);
+  arm_rto();
+}
+
+void TcpSocket::start_passive_open(const TcpHeader& syn) {
+  irs_ = syn.seq;
+  rcv_nxt_ = syn.seq + 1;
+  peer_mss_ = syn.mss_option.value_or(536);
+  snd_wnd_ = syn.window;
+  iss_ = stack_.env().random_u32();
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  state_ = TcpState::kSynRcvd;
+  emit_segment(iss_, 0, /*fin=*/false, /*syn=*/true, /*force_ack=*/true);
+  arm_rto();
+}
+
+std::size_t TcpSocket::send(std::span<const std::uint8_t> data) {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
+      state_ != TcpState::kSynSent && state_ != TcpState::kSynRcvd) {
+    return 0;
+  }
+  if (fin_queued_) return 0;  // sending after close() is an app bug
+  const std::size_t n = send_ring_.write(data);
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
+    try_output();
+  }
+  return n;
+}
+
+std::size_t TcpSocket::recv(std::span<std::uint8_t> dst) {
+  const std::size_t before = recv_ring_.writable();
+  const std::size_t n = recv_ring_.read(dst);
+  // Window may have re-opened: let the peer know if it was nearly closed.
+  if (n > 0 && before < effective_mss() &&
+      (state_ == TcpState::kEstablished || state_ == TcpState::kFinWait1 ||
+       state_ == TcpState::kFinWait2)) {
+    send_ack_now();  // window update
+  }
+  deliver_in_order();  // stalled out-of-order data may now fit
+  return n;
+}
+
+void TcpSocket::close() {
+  switch (state_) {
+    case TcpState::kSynSent:
+      enter_closed(TcpCloseReason::kNormal);
+      return;
+    case TcpState::kSynRcvd:
+    case TcpState::kEstablished:
+      fin_queued_ = true;
+      state_ = TcpState::kFinWait1;
+      try_output();
+      return;
+    case TcpState::kCloseWait:
+      fin_queued_ = true;
+      state_ = TcpState::kLastAck;
+      try_output();
+      return;
+    default:
+      return;  // already closing/closed
+  }
+}
+
+void TcpSocket::abort() {
+  if (state_ == TcpState::kClosed) return;
+  if (state_ != TcpState::kSynSent && state_ != TcpState::kListen) {
+    TcpHeader h;
+    h.src_port = flow_.local_port;
+    h.dst_port = flow_.remote_port;
+    h.seq = snd_nxt_;
+    h.rst = true;
+    h.ack_flag = true;
+    h.ack = rcv_nxt_;
+    auto pkt = Packet::make(0);
+    h.encode(*pkt, flow_.local_ip, flow_.remote_ip);
+    ++stack_.stats_.segments_out;
+    ++stack_.stats_.rsts_out;
+    stack_.env().tx(std::move(pkt), flow_.local_ip, flow_.remote_ip);
+  }
+  enter_closed(TcpCloseReason::kNormal);
+}
+
+void TcpSocket::on_segment(const TcpHeader& h, PacketPtr payload) {
+  if (state_ == TcpState::kClosed) return;
+
+  snd_wnd_ = h.window;
+
+  if (h.rst) {
+    // Minimal validation: the RST must be inside the receive window (or be
+    // the answer to our SYN).
+    if (state_ == TcpState::kSynSent) {
+      if (h.ack_flag && h.ack == snd_nxt_) fail(TcpCloseReason::kRefused);
+      return;
+    }
+    if (seq_ge(h.seq, rcv_nxt_ - 1)) fail(TcpCloseReason::kReset);
+    return;
+  }
+
+  if (state_ == TcpState::kSynSent) {
+    if (h.syn && h.ack_flag && h.ack == snd_nxt_) {
+      irs_ = h.seq;
+      rcv_nxt_ = h.seq + 1;
+      peer_mss_ = h.mss_option.value_or(536);
+      snd_una_ = h.ack;
+      state_ = TcpState::kEstablished;
+      retries_ = 0;
+      disarm_rto();
+      send_ack_now();
+      if (cb_.on_established) cb_.on_established();
+      try_output();
+    } else if (h.syn && !h.ack_flag) {
+      // Simultaneous open.
+      irs_ = h.seq;
+      rcv_nxt_ = h.seq + 1;
+      peer_mss_ = h.mss_option.value_or(536);
+      state_ = TcpState::kSynRcvd;
+      emit_segment(iss_, 0, false, true, true);  // re-send SYN, now with ACK
+    }
+    return;
+  }
+
+  if (state_ == TcpState::kSynRcvd) {
+    if (h.syn && !h.ack_flag) {
+      // Duplicate SYN: retransmit our SYN|ACK.
+      emit_segment(iss_, 0, false, true, true);
+      return;
+    }
+    if (h.ack_flag && h.ack == snd_nxt_) {
+      snd_una_ = h.ack;
+      state_ = TcpState::kEstablished;
+      retries_ = 0;
+      disarm_rto();
+      stack_.handshake_complete(*this);
+      if (cb_.on_established) cb_.on_established();
+      // Fall through: the ACK may carry data.
+    } else if (!h.ack_flag) {
+      return;
+    } else {
+      return;  // ACK for something else; drop
+    }
+  }
+
+  if (h.syn) {
+    // SYN in a synchronized state: ignore (the peer's SYN retransmission
+    // crossing our SYN|ACK loss is handled by our own RTO).
+    return;
+  }
+
+  if (h.ack_flag) on_ack(h);
+  if (state_ == TcpState::kClosed) return;  // on_ack may have finished us
+
+  if (payload && payload->size() > 0) accept_data(h, payload);
+
+  if (h.fin) {
+    fin_seen_ = true;
+    fin_rcv_seq_ = h.seq + static_cast<std::uint32_t>(payload ? payload->size()
+                                                             : 0);
+  }
+  if (fin_seen_ && !fin_received_ && rcv_nxt_ == fin_rcv_seq_) {
+    fin_received_ = true;
+    ++rcv_nxt_;
+    send_ack_now();
+    switch (state_) {
+      case TcpState::kEstablished:
+        state_ = TcpState::kCloseWait;
+        break;
+      case TcpState::kFinWait1:
+        // Our FIN not yet acked: simultaneous close.
+        state_ = TcpState::kClosing;
+        break;
+      case TcpState::kFinWait2:
+        enter_time_wait();
+        break;
+      default:
+        break;
+    }
+    if (cb_.on_readable) cb_.on_readable();  // EOF is readable
+  } else if (fin_received_ && h.fin) {
+    send_ack_now();  // retransmitted FIN
+    if (state_ == TcpState::kTimeWait) enter_time_wait();  // restart 2MSL
+  }
+}
+
+void TcpSocket::on_ack(const TcpHeader& h) {
+  if (seq_gt(h.ack, snd_nxt_)) {  // acks data we never sent
+    send_ack_now();
+    return;
+  }
+
+  if (seq_le(h.ack, snd_una_)) {
+    // Not a new ack. Count duplicates for fast retransmit.
+    const bool is_dup = h.ack == snd_una_ && inflight() > 0;
+    if (is_dup) {
+      ++dupacks_;
+      if (dupacks_ == 3 && !in_recovery_) {
+        // Fast retransmit + enter fast recovery (NewReno).
+        ssthresh_ = std::max(inflight() / 2, 2 * effective_mss());
+        recover_ = snd_nxt_;
+        in_recovery_ = true;
+        ++retransmit_count_;
+        ++stack_.stats_.retransmits;
+        rtt_sample_.reset();  // Karn
+        const std::size_t len = std::min<std::size_t>(
+            effective_mss(), send_ring_.readable());
+        if (len > 0) {
+          emit_segment(snd_una_, len, false, false, true);
+        } else if (fin_sent_) {
+          emit_segment(fin_seq_, 0, true, false, true);
+        }
+        cwnd_ = ssthresh_ + 3 * effective_mss();
+      } else if (in_recovery_) {
+        cwnd_ += effective_mss();  // inflate
+        try_output();
+      }
+    }
+    return;
+  }
+
+  // New data acked.
+  std::uint32_t acked = h.ack - snd_una_;
+  std::uint32_t data_acked = acked;
+  if (fin_sent_ && seq_ge(h.ack, fin_seq_ + 1)) --data_acked;  // the FIN
+  send_ring_.discard(std::min<std::size_t>(data_acked, send_ring_.readable()));
+  snd_una_ = h.ack;
+  retries_ = 0;
+  dupacks_ = 0;
+
+  if (rtt_sample_ && seq_ge(h.ack, rtt_sample_->first)) {
+    update_rtt(stack_.env().now() - rtt_sample_->second);
+    rtt_sample_.reset();
+  }
+
+  if (in_recovery_) {
+    if (seq_ge(h.ack, recover_)) {
+      in_recovery_ = false;
+      cwnd_ = ssthresh_;
+    } else {
+      // Partial ack: retransmit the next hole immediately.
+      ++retransmit_count_;
+      ++stack_.stats_.retransmits;
+      const std::size_t len =
+          std::min<std::size_t>(effective_mss(), send_ring_.readable());
+      if (len > 0) emit_segment(snd_una_, len, false, false, true);
+      cwnd_ = cwnd_ > data_acked ? cwnd_ - data_acked + effective_mss()
+                                 : effective_mss();
+    }
+  } else if (cwnd_ < ssthresh_) {
+    cwnd_ += std::min<std::size_t>(data_acked, effective_mss());  // slow start
+  } else {
+    cwnd_ += std::max<std::size_t>(
+        1, effective_mss() * effective_mss() / std::max<std::size_t>(cwnd_, 1));
+  }
+
+  if (inflight() > 0) {
+    arm_rto();  // restart for remaining data
+  } else {
+    disarm_rto();
+  }
+
+  // FIN acknowledged?
+  if (fin_sent_ && seq_ge(snd_una_, fin_seq_ + 1)) {
+    switch (state_) {
+      case TcpState::kFinWait1:
+        state_ = TcpState::kFinWait2;
+        break;
+      case TcpState::kClosing:
+        enter_time_wait();
+        break;
+      case TcpState::kLastAck:
+        enter_closed(TcpCloseReason::kNormal);
+        return;
+      default:
+        break;
+    }
+  }
+
+  if (cb_.on_writable && send_space() > 0) cb_.on_writable();
+  try_output();
+}
+
+void TcpSocket::accept_data(const TcpHeader& h, const PacketPtr& payload) {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kFinWait1 &&
+      state_ != TcpState::kFinWait2) {
+    return;
+  }
+  const auto data = payload->bytes();
+  const std::uint32_t seg_seq = h.seq;
+  const auto len = static_cast<std::uint32_t>(data.size());
+  stack_.stats_.bytes_in += len;
+
+  if (seq_ge(rcv_nxt_, seg_seq + len)) {
+    send_ack_now();  // entirely old; re-ack so the peer can advance
+    return;
+  }
+
+  if (seq_le(seg_seq, rcv_nxt_)) {
+    const std::uint32_t skip = rcv_nxt_ - seg_seq;
+    const std::size_t wrote = recv_ring_.write(data.subspan(skip));
+    rcv_nxt_ += static_cast<std::uint32_t>(wrote);
+    // Bytes beyond our advertised window are dropped; the peer retransmits.
+    deliver_in_order();
+    schedule_ack(wrote);
+    if (wrote > 0 && cb_.on_readable) cb_.on_readable();
+  } else {
+    // Out of order: stash (bounded) and signal the hole with a dup ack.
+    ++stack_.stats_.ooo_segments;
+    if (ooo_bytes_ + len <= cfg_.recv_buf * 2 && !ooo_.contains(seg_seq)) {
+      ooo_[seg_seq].assign(data.begin(), data.end());
+      ooo_bytes_ += len;
+    }
+    send_ack_now();
+  }
+}
+
+void TcpSocket::deliver_in_order() {
+  if (delivering_) return;
+  delivering_ = true;
+  struct Guard {
+    bool& flag;
+    ~Guard() { flag = false; }
+  } guard{delivering_};
+  bool progressed = true;
+  while (progressed && !ooo_.empty()) {
+    progressed = false;
+    for (auto it = ooo_.begin(); it != ooo_.end();) {
+      const std::uint32_t seq = it->first;
+      auto& bytes = it->second;
+      const auto len = static_cast<std::uint32_t>(bytes.size());
+      if (seq_ge(rcv_nxt_, seq + len)) {
+        ooo_bytes_ -= bytes.size();
+        it = ooo_.erase(it);  // fully consumed already
+        progressed = true;
+        continue;
+      }
+      if (seq_le(seq, rcv_nxt_)) {
+        const std::uint32_t skip = rcv_nxt_ - seq;
+        const std::size_t wrote = recv_ring_.write(
+            std::span<const std::uint8_t>{bytes}.subspan(skip));
+        if (wrote == 0) return;  // receive buffer full; stall
+        rcv_nxt_ += static_cast<std::uint32_t>(wrote);
+        if (skip + wrote == bytes.size()) {
+          ooo_bytes_ -= bytes.size();
+          it = ooo_.erase(it);
+        }
+        progressed = true;
+        if (cb_.on_readable) cb_.on_readable();
+        break;  // restart scan from the beginning
+      }
+      ++it;
+    }
+  }
+}
+
+void TcpSocket::try_output() {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait &&
+      state_ != TcpState::kFinWait1 && state_ != TcpState::kLastAck &&
+      state_ != TcpState::kClosing) {
+    return;
+  }
+
+  const std::size_t wnd = std::min<std::size_t>(cwnd_, snd_wnd_);
+  while (!fin_sent_) {
+    // Data bytes in flight; the ring holds [snd_una_, snd_una_ + readable).
+    const std::uint32_t sent_unacked = snd_nxt_ - snd_una_;
+    const std::size_t ring_bytes = send_ring_.readable();
+    assert(ring_bytes >= sent_unacked);
+    const std::size_t avail = ring_bytes - sent_unacked;  // not yet sent
+    if (avail == 0) break;
+    if (wnd <= sent_unacked) {
+      // Window closed. If nothing is in flight the RTO acts as our persist
+      // timer and will push out a probe.
+      if (inflight() == 0) arm_rto();
+      break;
+    }
+    const std::size_t usable = wnd - sent_unacked;
+    const std::size_t limit = cfg_.tso ? cfg_.tso_limit : effective_mss();
+    const std::size_t len = std::min({avail, usable, limit});
+    if (len == 0) break;
+    emit_segment(snd_nxt_, len, false, false, true);
+    if (!rtt_sample_) rtt_sample_ = {snd_nxt_ + len, stack_.env().now()};
+    snd_nxt_ += static_cast<std::uint32_t>(len);
+  }
+
+  // Emit the FIN once every byte has been sent.
+  if (fin_queued_ && !fin_sent_ &&
+      send_ring_.readable() == snd_nxt_ - snd_una_) {
+    fin_seq_ = snd_nxt_;
+    fin_sent_ = true;
+    emit_segment(fin_seq_, 0, true, false, true);
+    ++snd_nxt_;
+  }
+
+  if (inflight() > 0 && !rto_timer_.pending()) arm_rto();
+}
+
+void TcpSocket::emit_segment(std::uint32_t seq, std::size_t len, bool fin,
+                             bool syn, bool force_ack) {
+  auto pkt = Packet::make(len);
+  if (len > 0) {
+    const std::size_t off = seq - snd_una_;
+    const std::size_t got = send_ring_.peek_at(off, pkt->bytes());
+    assert(got == len && "segment data must be in the send ring");
+    (void)got;
+  }
+  TcpHeader h;
+  h.src_port = flow_.local_port;
+  h.dst_port = flow_.remote_port;
+  h.seq = seq;
+  h.syn = syn;
+  h.fin = fin;
+  h.psh = len > 0;
+  h.ack_flag = force_ack;
+  h.ack = rcv_nxt_;
+  h.window = advertised_window();
+  if (syn) h.mss_option = static_cast<std::uint16_t>(cfg_.mss);
+  h.encode(*pkt, flow_.local_ip, flow_.remote_ip);
+  pkt->tso = len > effective_mss();
+  ++stack_.stats_.segments_out;
+  if (len > 0) {
+    ++stack_.stats_.data_segments_out;
+  } else if (!syn && !fin) {
+    ++stack_.stats_.pure_acks_out;
+  }
+  stack_.stats_.bytes_out += len;
+  ack_timer_.cancel();  // any segment carries the ack
+  delack_bytes_ = 0;
+  stack_.env().tx(std::move(pkt), flow_.local_ip, flow_.remote_ip);
+}
+
+void TcpSocket::send_ack_now() {
+  emit_segment(snd_nxt_, 0, false, false, true);
+}
+
+void TcpSocket::schedule_ack(std::size_t new_bytes) {
+  if (cfg_.delayed_ack == 0) {
+    send_ack_now();
+    return;
+  }
+  // RFC 1122: at most one outstanding delayed ACK, and an immediate ACK at
+  // least every 2*MSS of received data (counting bytes, not segments — a
+  // TSO/LRO super-segment must be acked at once or the sender's window
+  // stalls against the delack timer). Any outgoing data segment (the
+  // request/response case) piggybacks the ACK and cancels the timer.
+  delack_bytes_ += new_bytes;
+  if (delack_bytes_ >=
+      static_cast<std::size_t>(cfg_.ack_every) * effective_mss()) {
+    send_ack_now();
+    return;
+  }
+  if (ack_timer_.pending()) return;
+  auto wp = weak_from_this();
+  ack_timer_ = stack_.env().start_timer(cfg_.delayed_ack, [wp] {
+    if (auto sp = wp.lock()) sp->send_ack_now();
+  });
+}
+
+void TcpSocket::arm_rto() {
+  rto_timer_.cancel();
+  auto wp = weak_from_this();
+  rto_timer_ = stack_.env().start_timer(rto_, [wp] {
+    if (auto sp = wp.lock()) sp->on_rto();
+  });
+}
+
+void TcpSocket::disarm_rto() { rto_timer_.cancel(); }
+
+void TcpSocket::on_rto() {
+  ++retries_;
+  rtt_sample_.reset();  // Karn: never time retransmitted data
+
+  if (state_ == TcpState::kSynSent || state_ == TcpState::kSynRcvd) {
+    if (retries_ > cfg_.syn_retries) {
+      fail(TcpCloseReason::kTimeout);
+      return;
+    }
+    emit_segment(iss_, 0, false, true, state_ == TcpState::kSynRcvd);
+    rto_ = std::min(rto_ * 2, cfg_.rto_max);
+    arm_rto();
+    return;
+  }
+
+  if (retries_ > cfg_.data_retries) {
+    fail(TcpCloseReason::kTimeout);
+    return;
+  }
+
+  // Collapse to one MSS and retransmit the first unacked segment.
+  ssthresh_ = std::max(inflight() / 2, 2 * effective_mss());
+  cwnd_ = effective_mss();
+  in_recovery_ = false;
+  dupacks_ = 0;
+
+  const std::size_t len =
+      std::min<std::size_t>(effective_mss(), send_ring_.readable());
+  if (len > 0) {
+    ++retransmit_count_;
+    ++stack_.stats_.retransmits;
+    emit_segment(snd_una_, len, false, false, true);
+  } else if (fin_sent_ && seq_le(fin_seq_, snd_una_)) {
+    ++retransmit_count_;
+    ++stack_.stats_.retransmits;
+    emit_segment(fin_seq_, 0, true, false, true);
+  } else if (send_ring_.readable() > 0) {
+    // Zero-window probe: push one byte past the window.
+    ++retransmit_count_;
+    emit_segment(snd_una_, 1, false, false, true);
+    snd_nxt_ = std::max(snd_nxt_, snd_una_ + 1);
+  }
+  rto_ = std::min(rto_ * 2, cfg_.rto_max);
+  arm_rto();
+}
+
+void TcpSocket::update_rtt(sim::SimTime measured) {
+  if (srtt_ == 0) {
+    srtt_ = measured;
+    rttvar_ = measured / 2;
+  } else {
+    const auto diff = srtt_ > measured ? srtt_ - measured : measured - srtt_;
+    rttvar_ = (3 * rttvar_ + diff) / 4;
+    srtt_ = (7 * srtt_ + measured) / 8;
+  }
+  rto_ = std::clamp(srtt_ + std::max<sim::SimTime>(4 * rttvar_, sim::kMillisecond),
+                    cfg_.rto_min, cfg_.rto_max);
+}
+
+void TcpSocket::enter_time_wait() {
+  state_ = TcpState::kTimeWait;
+  disarm_rto();
+  // TIME_WAIT only needs the connection identity and timers — holding
+  // buffer memory here would pin gigabytes under connection churn.
+  send_ring_.release();
+  if (recv_ring_.empty()) recv_ring_.release();
+  ooo_.clear();
+  ooo_bytes_ = 0;
+  time_wait_timer_.cancel();
+  auto wp = weak_from_this();
+  time_wait_timer_ = stack_.env().start_timer(cfg_.time_wait, [wp] {
+    if (auto sp = wp.lock()) sp->enter_closed(TcpCloseReason::kNormal);
+  });
+}
+
+void TcpSocket::enter_closed(TcpCloseReason reason) {
+  if (state_ == TcpState::kClosed) return;
+  if (state_ == TcpState::kSynRcvd) stack_.handshake_dropped();
+  state_ = TcpState::kClosed;
+  disarm_rto();
+  ack_timer_.cancel();
+  time_wait_timer_.cancel();
+  auto self = shared_from_this();  // keep alive across callback + unmap
+  if (cb_.on_closed) cb_.on_closed(reason);
+  stack_.socket_closed(*this);
+  send_ring_.release();
+  recv_ring_.release();
+  ooo_.clear();
+  ooo_bytes_ = 0;
+}
+
+void TcpSocket::fail(TcpCloseReason reason) {
+  if (reason == TcpCloseReason::kTimeout || reason == TcpCloseReason::kRefused)
+    ++stack_.stats_.conns_failed;
+  if (reason == TcpCloseReason::kReset) ++stack_.stats_.rsts_in;
+  enter_closed(reason);
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+TcpSocketPtr TcpListener::accept() {
+  while (!accept_q_.empty()) {
+    TcpSocketPtr s = std::move(accept_q_.front());
+    accept_q_.pop_front();
+    if (s->state() != TcpState::kClosed) return s;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// TcpStack
+// ---------------------------------------------------------------------------
+
+TcpStack::TcpStack(TcpEnv& env, Ipv4Addr local_ip, TcpConfig cfg)
+    : env_(env), local_ip_(local_ip), cfg_(cfg) {
+  next_ephemeral_ = static_cast<std::uint16_t>(
+      49152 + env_.random_u32() % 16000);
+}
+
+TcpListener* TcpStack::listen(std::uint16_t port, std::size_t backlog) {
+  auto [it, inserted] =
+      listeners_.emplace(port, std::make_unique<TcpListener>(port, backlog));
+  return inserted ? it->second.get() : nullptr;
+}
+
+void TcpStack::close_listener(std::uint16_t port) { listeners_.erase(port); }
+
+std::uint16_t TcpStack::ephemeral_port() {
+  for (int tries = 0; tries < 16384; ++tries) {
+    const std::uint16_t p = next_ephemeral_;
+    next_ephemeral_ =
+        next_ephemeral_ >= 65535 ? 49152 : next_ephemeral_ + 1;
+    bool used = false;
+    for (const auto& [key, sock] : conns_) {
+      if (key.local_port == p) {
+        used = true;
+        break;
+      }
+    }
+    if (!used) return p;
+  }
+  return 0;
+}
+
+TcpSocketPtr TcpStack::connect(SockAddr remote, std::uint16_t local_port,
+                               bool defer_syn) {
+  if (local_port == 0) local_port = ephemeral_port();
+  if (local_port == 0) return nullptr;
+  FlowKey key{local_ip_, local_port, remote.ip, remote.port};
+  if (conns_.contains(key)) return nullptr;
+  auto sock = std::make_shared<TcpSocket>(*this, key, cfg_);
+  conns_[key] = sock;
+  if (!defer_syn) sock->start_active_open();
+  return sock;
+}
+
+void TcpStack::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt) {
+  ++stats_.segments_in;
+  auto h = TcpHeader::decode(*pkt, src, dst);
+  if (!h) {
+    ++stats_.checksum_drops;
+    return;
+  }
+  if (h->rst) ++stats_.rsts_in;
+  const FlowKey key{dst, h->dst_port, src, h->src_port};
+  if (auto it = conns_.find(key); it != conns_.end()) {
+    TcpSocketPtr s = it->second;  // keep alive: handler may close/erase
+    s->on_segment(*h, std::move(pkt));
+    return;
+  }
+  if (h->syn && !h->ack_flag) {
+    auto lit = listeners_.find(h->dst_port);
+    if (lit != listeners_.end()) {
+      TcpListener& l = *lit->second;
+      if (l.accept_q_.size() + pending_handshakes_ < l.backlog_) {
+        auto sock = std::make_shared<TcpSocket>(*this, key, cfg_);
+        conns_[key] = sock;
+        ++pending_handshakes_;
+        sock->start_passive_open(*h);
+      } else {
+        // Silently drop the SYN (backlog overflow) — the client retries.
+        ++stats_.syns_dropped_backlog;
+      }
+      return;
+    }
+  }
+  if (!h->rst) {
+    send_rst_for(*h, src, dst, pkt ? pkt->size() : 0);
+  }
+}
+
+void TcpStack::handshake_complete(TcpSocket& s) {
+  if (pending_handshakes_ > 0) --pending_handshakes_;
+  ++stats_.conns_accepted;
+  auto lit = listeners_.find(s.flow().local_port);
+  if (lit == listeners_.end()) {
+    s.abort();  // listener vanished between SYN and ACK
+    return;
+  }
+  lit->second->accept_q_.push_back(s.shared_from_this());
+  if (lit->second->on_ready_) lit->second->on_ready_();
+}
+
+void TcpStack::send_rst_for(const TcpHeader& h, Ipv4Addr src, Ipv4Addr dst,
+                            std::size_t payload_len) {
+  TcpHeader rst;
+  rst.src_port = h.dst_port;
+  rst.dst_port = h.src_port;
+  rst.rst = true;
+  if (h.ack_flag) {
+    rst.seq = h.ack;
+  } else {
+    rst.seq = 0;
+    rst.ack_flag = true;
+    rst.ack = h.seq + static_cast<std::uint32_t>(payload_len) +
+              (h.syn ? 1 : 0) + (h.fin ? 1 : 0);
+  }
+  auto pkt = Packet::make(0);
+  rst.encode(*pkt, dst, src);
+  ++stats_.segments_out;
+  ++stats_.rsts_out;
+  env_.tx(std::move(pkt), dst, src);
+}
+
+void TcpStack::socket_closed(TcpSocket& s) { conns_.erase(s.flow()); }
+
+std::size_t TcpStack::active_connection_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, sock] : conns_) {
+    if (sock->state() != TcpState::kTimeWait &&
+        sock->state() != TcpState::kClosed) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void TcpStack::for_each_connection(
+    const std::function<void(TcpSocket&)>& fn) {
+  // Copy handles first: fn may close sockets and mutate the table.
+  std::vector<TcpSocketPtr> snapshot;
+  snapshot.reserve(conns_.size());
+  for (auto& [key, sock] : conns_) snapshot.push_back(sock);
+  for (auto& s : snapshot) fn(*s);
+}
+
+TcpCheckpoint TcpStack::snapshot() const {
+  TcpCheckpoint cp;
+  cp.taken_at = env_.now();
+  for (const auto& [key, sock] : conns_) {
+    if (sock->state_ != TcpState::kEstablished) continue;
+    TcpConnSnapshot s;
+    s.flow = key;
+    s.iss = sock->iss_;
+    s.irs = sock->irs_;
+    s.snd_una = sock->snd_una_;
+    s.rcv_nxt = sock->rcv_nxt_;
+    s.snd_wnd = sock->snd_wnd_;
+    s.peer_mss = sock->peer_mss_;
+    s.send_buf.resize(sock->send_ring_.readable());
+    sock->send_ring_.peek(s.send_buf);
+    s.recv_buf.resize(sock->recv_ring_.readable());
+    sock->recv_ring_.peek(s.recv_buf);
+    cp.conns.push_back(std::move(s));
+  }
+  return cp;
+}
+
+std::vector<TcpSocketPtr> TcpStack::restore(const TcpCheckpoint& cp) {
+  std::vector<TcpSocketPtr> restored;
+  for (const auto& s : cp.conns) {
+    if (conns_.contains(s.flow)) continue;
+    auto sock = std::make_shared<TcpSocket>(*this, s.flow, cfg_);
+    sock->state_ = TcpState::kEstablished;
+    sock->iss_ = s.iss;
+    sock->irs_ = s.irs;
+    sock->snd_una_ = s.snd_una;
+    // Everything unacked at checkpoint time counts as lost in flight:
+    // resume output from snd_una so try_output() retransmits it all.
+    sock->snd_nxt_ = s.snd_una;
+    sock->rcv_nxt_ = s.rcv_nxt;
+    sock->snd_wnd_ = s.snd_wnd;
+    sock->peer_mss_ = s.peer_mss;
+    sock->send_ring_.write(s.send_buf);
+    sock->recv_ring_.write(s.recv_buf);
+    conns_[s.flow] = sock;
+    restored.push_back(sock);
+    sock->try_output();
+    // Tell the peer where we stand; a peer that advanced past our
+    // checkpoint will answer with data/acks that resynchronize us — or
+    // the connection stalls out and dies by timeout.
+    sock->send_ack_now();
+  }
+  return restored;
+}
+
+void TcpStack::destroy_all_state() {
+  auto conns = std::move(conns_);
+  conns_.clear();
+  listeners_.clear();
+  pending_handshakes_ = 0;
+  // Sockets die silently: no FIN, no RST — exactly what a crash looks like
+  // to the peers. Destructors cancel all timers.
+  for (auto& [key, sock] : conns) {
+    sock->state_ = TcpState::kClosed;
+    sock->rto_timer_.cancel();
+    sock->ack_timer_.cancel();
+    sock->time_wait_timer_.cancel();
+  }
+}
+
+}  // namespace neat::net

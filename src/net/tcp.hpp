@@ -1,0 +1,440 @@
+// TCP: wire codec and a complete connection state machine.
+//
+// This is the stateful heart of every NEaT replica — the component whose
+// failures are the only ones that lose visible state (Table 3). The
+// implementation is a compact but real TCP:
+//
+//  * three-way handshake (active + passive open) with MSS negotiation,
+//  * sliding-window byte-stream transfer with flow control,
+//  * retransmission: RFC 6298 RTO estimation + Karn's algorithm, exponential
+//    backoff, and 3-dupACK fast retransmit,
+//  * Reno congestion control (slow start / congestion avoidance / fast
+//    recovery),
+//  * out-of-order reassembly, checksum verification, RST generation and
+//    handling, the full close dance incl. TIME_WAIT (paper §4 calls the
+//    TIME_WAIT timeout out as a control-plane knob),
+//  * optional TSO-sized segments (the NIC cuts them into MTU frames).
+//
+// The protocol logic is pure: all timing/transmission is delegated to a
+// TcpEnv supplied by the containing component, so the same class runs inside
+// a single-component NEaT replica, the TCP process of a multi-component
+// replica, the Linux-baseline kernel model, and the unit tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ipc/byte_ring.hpp"
+#include "net/addr.hpp"
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace neat::net {
+
+// --------------------------------------------------------------------------
+// Wire format
+// --------------------------------------------------------------------------
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint32_t seq{0};
+  std::uint32_t ack{0};
+  bool syn{false};
+  bool ack_flag{false};
+  bool fin{false};
+  bool rst{false};
+  bool psh{false};
+  std::uint16_t window{0};
+  std::optional<std::uint16_t> mss_option;  // only meaningful on SYN
+
+  /// Prepend the header to `pkt` (payload present) and fill the checksum.
+  void encode(Packet& pkt, Ipv4Addr src, Ipv4Addr dst) const;
+
+  /// Parse + consume; verifies the pseudo-header checksum.
+  [[nodiscard]] static std::optional<TcpHeader> decode(Packet& pkt,
+                                                       Ipv4Addr src,
+                                                       Ipv4Addr dst);
+};
+
+// Sequence-number arithmetic (mod 2^32).
+[[nodiscard]] inline bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+[[nodiscard]] inline bool seq_le(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+[[nodiscard]] inline bool seq_gt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) > 0;
+}
+[[nodiscard]] inline bool seq_ge(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) >= 0;
+}
+
+// --------------------------------------------------------------------------
+// Configuration & environment
+// --------------------------------------------------------------------------
+
+struct TcpConfig {
+  std::size_t mss{1460};
+  std::size_t send_buf{98304};
+  std::size_t recv_buf{98304};
+  std::uint32_t initial_cwnd_segments{10};
+  sim::SimTime rto_initial{200 * sim::kMillisecond};
+  sim::SimTime rto_min{50 * sim::kMillisecond};
+  sim::SimTime rto_max{8 * sim::kSecond};
+  /// Delayed-ACK timeout (Linux uses 40-200 ms); 0 = ACK immediately.
+  sim::SimTime delayed_ack{40 * sim::kMillisecond};
+  int ack_every{2};  ///< with delayed_ack: immediate ACK every 2*MSS bytes
+  /// TIME_WAIT hold time; a pure control-plane setting in NEaT (§4). The
+  /// default is far below 2MSL to bound simulation state, as documented in
+  /// DESIGN.md.
+  sim::SimTime time_wait{500 * sim::kMillisecond};
+  int syn_retries{5};
+  int data_retries{8};
+  bool tso{true};
+  std::size_t tso_limit{65535 - 120};  ///< max bytes per emitted segment
+};
+
+/// Host environment a TcpStack runs in; implemented by each containing
+/// component (replica process, kernel model, test fixture).
+class TcpEnv {
+ public:
+  virtual ~TcpEnv() = default;
+  [[nodiscard]] virtual sim::SimTime now() = 0;
+  /// Start a cancellable timer in the component's context.
+  virtual sim::EventHandle start_timer(sim::SimTime delay,
+                                       std::function<void()> fn) = 0;
+  /// Transmit a finished TCP segment towards IP.
+  virtual void tx(PacketPtr segment, Ipv4Addr src, Ipv4Addr dst) = 0;
+  /// Randomness for ISS and ephemeral ports.
+  virtual std::uint32_t random_u32() = 0;
+};
+
+// --------------------------------------------------------------------------
+// Sockets
+// --------------------------------------------------------------------------
+
+enum class TcpState {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kClosing,
+  kLastAck,
+  kTimeWait,
+};
+
+[[nodiscard]] const char* to_string(TcpState s);
+
+enum class TcpCloseReason {
+  kNormal,       ///< orderly FIN exchange completed
+  kReset,        ///< peer sent RST
+  kTimeout,      ///< retransmission limit exceeded
+  kRefused,      ///< SYN answered by RST
+  kStackFailure  ///< replica crashed; set by recovery logic
+};
+
+class TcpStack;
+
+/// One TCP connection. Obtain via TcpStack::connect() or a listener's
+/// accept queue. All app-facing calls are non-blocking.
+class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
+ public:
+  struct Callbacks {
+    std::function<void()> on_established;
+    std::function<void()> on_readable;  ///< data or EOF available
+    std::function<void()> on_writable;  ///< send space freed
+    std::function<void(TcpCloseReason)> on_closed;
+  };
+
+  TcpSocket(TcpStack& stack, FlowKey flow, const TcpConfig& cfg);
+  ~TcpSocket();
+
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  [[nodiscard]] TcpState state() const { return state_; }
+  [[nodiscard]] const FlowKey& flow() const { return flow_; }
+  void set_callbacks(Callbacks cb) { cb_ = std::move(cb); }
+
+  /// Queue bytes for transmission; returns how many were accepted
+  /// (bounded by send-buffer space).
+  std::size_t send(std::span<const std::uint8_t> data);
+
+  /// Read received bytes; returns bytes read (0 = nothing available —
+  /// check eof() to distinguish from EOF).
+  std::size_t recv(std::span<std::uint8_t> dst);
+
+  [[nodiscard]] std::size_t readable() const { return recv_ring_.readable(); }
+  [[nodiscard]] std::size_t send_space() const;
+  [[nodiscard]] bool eof() const {
+    return fin_received_ && recv_ring_.empty();
+  }
+
+  /// Orderly close: FIN after all queued data drains.
+  void close();
+
+  /// Abortive close: RST immediately.
+  void abort();
+
+  /// Bytes in flight (unacknowledged).
+  [[nodiscard]] std::size_t inflight() const { return snd_nxt_ - snd_una_; }
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmit_count_; }
+  [[nodiscard]] std::size_t cwnd() const { return cwnd_; }
+  [[nodiscard]] sim::SimTime srtt() const { return srtt_; }
+
+ private:
+  friend class TcpStack;
+
+  void start_active_open();
+  void start_passive_open(const TcpHeader& syn);
+  void on_segment(const TcpHeader& h, PacketPtr payload);
+  void on_ack(const TcpHeader& h);
+  void accept_data(const TcpHeader& h, const PacketPtr& payload);
+  void deliver_in_order();
+  void try_output();
+  void emit_segment(std::uint32_t seq, std::size_t len, bool fin, bool syn,
+                    bool force_ack);
+  void send_ack_now();
+  void schedule_ack(std::size_t new_bytes);
+  void arm_rto();
+  void disarm_rto();
+  void on_rto();
+  void update_rtt(sim::SimTime measured);
+  void enter_time_wait();
+  void enter_closed(TcpCloseReason reason);
+  void fail(TcpCloseReason reason);
+  [[nodiscard]] std::uint16_t advertised_window() const;
+  [[nodiscard]] std::size_t effective_mss() const;
+
+  TcpStack& stack_;
+  FlowKey flow_;
+  const TcpConfig& cfg_;
+  TcpState state_{TcpState::kClosed};
+  Callbacks cb_;
+
+  // Send side. send_ring_ holds [snd_una_, snd_una_ + size) of the stream.
+  ipc::ByteRing send_ring_;
+  std::uint32_t iss_{0};
+  std::uint32_t snd_una_{0};
+  std::uint32_t snd_nxt_{0};
+  std::uint32_t snd_wnd_{0};
+  bool fin_queued_{false};
+  bool fin_sent_{false};
+  std::uint32_t fin_seq_{0};
+
+  // Congestion control (Reno), in bytes.
+  std::size_t cwnd_{0};
+  std::size_t ssthresh_{};
+  int dupacks_{0};
+  std::uint32_t recover_{0};  // NewReno recovery point
+  bool in_recovery_{false};
+
+  // RTT estimation (RFC 6298).
+  sim::SimTime srtt_{0};
+  sim::SimTime rttvar_{0};
+  sim::SimTime rto_;
+  std::optional<std::pair<std::uint32_t, sim::SimTime>> rtt_sample_;
+
+  // Receive side.
+  ipc::ByteRing recv_ring_;
+  std::uint32_t irs_{0};
+  std::uint32_t rcv_nxt_{0};
+  bool fin_received_{false};
+  bool fin_seen_{false};  // peer's FIN observed but maybe not yet in order
+  std::uint32_t fin_rcv_seq_{0};
+  std::map<std::uint32_t, std::vector<std::uint8_t>> ooo_;
+  std::size_t ooo_bytes_{0};
+  bool delivering_{false};  // reentrancy guard for deliver_in_order()
+
+  // Timers.
+  sim::EventHandle rto_timer_;
+  sim::EventHandle ack_timer_;
+  sim::EventHandle time_wait_timer_;
+  int retries_{0};
+  std::size_t delack_bytes_{0};  // data bytes received since last ACK sent
+  std::uint64_t retransmit_count_{0};
+  std::uint16_t peer_mss_{536};
+  bool app_released_{false};
+};
+
+using TcpSocketPtr = std::shared_ptr<TcpSocket>;
+
+/// A listening socket: SYN queue + accept queue.
+class TcpListener {
+ public:
+  using AcceptReady = std::function<void()>;
+
+  TcpListener(std::uint16_t port, std::size_t backlog)
+      : port_(port), backlog_(backlog) {}
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::size_t pending() const { return accept_q_.size(); }
+
+  /// Pop one fully established connection (nullptr if none).
+  [[nodiscard]] TcpSocketPtr accept();
+
+  /// Invoked whenever a connection becomes acceptable.
+  void set_accept_ready(AcceptReady cb) { on_ready_ = std::move(cb); }
+
+ private:
+  friend class TcpStack;
+  std::uint16_t port_;
+  std::size_t backlog_;
+  std::deque<TcpSocketPtr> accept_q_;
+  AcceptReady on_ready_;
+};
+
+// --------------------------------------------------------------------------
+// Stack (per-replica TCP instance)
+// --------------------------------------------------------------------------
+
+struct TcpStats {
+  std::uint64_t segments_in{0};
+  std::uint64_t segments_out{0};
+  std::uint64_t bytes_in{0};
+  std::uint64_t bytes_out{0};
+  std::uint64_t checksum_drops{0};
+  std::uint64_t retransmits{0};
+  std::uint64_t rsts_out{0};
+  std::uint64_t rsts_in{0};
+  std::uint64_t conns_accepted{0};
+  std::uint64_t conns_initiated{0};
+  std::uint64_t conns_failed{0};
+  std::uint64_t ooo_segments{0};
+  std::uint64_t syns_dropped_backlog{0};
+  std::uint64_t pure_acks_out{0};
+  std::uint64_t data_segments_out{0};
+};
+
+/// Serialized state of one established connection, for checkpoint-based
+/// stateful recovery (the alternative recovery strategy the paper discusses
+/// in §6.6: "rely on checkpointing techniques to support a stateful
+/// recovery strategy allowing existing connections to survive failures").
+struct TcpConnSnapshot {
+  FlowKey flow;
+  std::uint32_t iss{0};
+  std::uint32_t irs{0};
+  std::uint32_t snd_una{0};
+  std::uint32_t rcv_nxt{0};
+  std::uint32_t snd_wnd{0};
+  std::uint16_t peer_mss{536};
+  std::vector<std::uint8_t> send_buf;  ///< unacked + unsent stream bytes
+  std::vector<std::uint8_t> recv_buf;  ///< received, not yet read by app
+};
+
+/// A point-in-time checkpoint of a stack's established connections.
+struct TcpCheckpoint {
+  sim::SimTime taken_at{0};
+  std::vector<TcpConnSnapshot> conns;
+
+  /// Serialized size (what a checkpointing engine would copy out).
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t n = 0;
+    for (const auto& c : conns) {
+      n += sizeof(TcpConnSnapshot) + c.send_buf.size() + c.recv_buf.size();
+    }
+    return n;
+  }
+};
+
+class TcpStack {
+ public:
+  TcpStack(TcpEnv& env, Ipv4Addr local_ip, TcpConfig cfg = {});
+
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  [[nodiscard]] Ipv4Addr local_ip() const { return local_ip_; }
+  [[nodiscard]] const TcpConfig& config() const { return cfg_; }
+  [[nodiscard]] TcpEnv& env() { return env_; }
+  [[nodiscard]] const TcpStats& stats() const { return stats_; }
+
+  /// Open a listener. Returns nullptr if the port is already bound.
+  TcpListener* listen(std::uint16_t port, std::size_t backlog = 128);
+  void close_listener(std::uint16_t port);
+  [[nodiscard]] TcpListener* listener(std::uint16_t port) {
+    auto it = listeners_.find(port);
+    return it == listeners_.end() ? nullptr : it->second.get();
+  }
+
+  /// Active open. Picks an ephemeral port if local_port == 0. With
+  /// defer_syn, the connection is registered but no SYN is emitted until
+  /// begin_handshake() — NEaT installs the NIC steering filter in between
+  /// so the SYN|ACK cannot race to the wrong replica.
+  TcpSocketPtr connect(SockAddr remote, std::uint16_t local_port = 0,
+                       bool defer_syn = false);
+
+  /// Fire the SYN of a deferred connect(). No-op if already started.
+  void begin_handshake(TcpSocket& s) {
+    if (s.state() == TcpState::kClosed) s.start_active_open();
+  }
+
+  /// Entry point for TCP segments from IP (pkt starts at the TCP header).
+  void rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt);
+
+  [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
+
+  /// Number of connections in "active" states (not TIME_WAIT/CLOSED) —
+  /// what the lazy-termination garbage collector watches.
+  [[nodiscard]] std::size_t active_connection_count() const;
+
+  /// Enumerate live connections (harness/recovery bookkeeping).
+  void for_each_connection(const std::function<void(TcpSocket&)>& fn);
+
+  /// Drop all state instantly and silently — what a crash does. Peers see
+  /// nothing until their own timers fire or a RST answers a later segment.
+  void destroy_all_state();
+
+  /// Capture all ESTABLISHED connections (connections mid-handshake or
+  /// mid-teardown are not worth preserving and are left out, as a real
+  /// checkpointing engine would).
+  [[nodiscard]] TcpCheckpoint snapshot() const;
+
+  /// Recreate connections from a checkpoint into this (empty) stack.
+  /// Restored connections resume from the checkpointed sequence state:
+  /// anything in flight at the crash is retransmitted; connections that
+  /// made irrecoverable progress since the checkpoint (data acked to the
+  /// peer after the snapshot) stall and die by the normal TCP timeout —
+  /// exactly the divergence problem that makes checkpointing imperfect.
+  /// Returns the restored sockets (for the library to re-attach).
+  std::vector<TcpSocketPtr> restore(const TcpCheckpoint& cp);
+
+ private:
+  friend class TcpSocket;
+
+  void send_rst_for(const TcpHeader& h, Ipv4Addr src, Ipv4Addr dst,
+                    std::size_t payload_len);
+  void socket_closed(TcpSocket& s);  // remove from table when fully done
+  void handshake_complete(TcpSocket& s);
+  void handshake_dropped() {
+    if (pending_handshakes_ > 0) --pending_handshakes_;
+  }
+  std::uint16_t ephemeral_port();
+
+  TcpEnv& env_;
+  Ipv4Addr local_ip_;
+  TcpConfig cfg_;
+  TcpStats stats_;
+  std::unordered_map<FlowKey, TcpSocketPtr, FlowKeyHash> conns_;
+  std::unordered_map<std::uint16_t, std::unique_ptr<TcpListener>> listeners_;
+  std::uint16_t next_ephemeral_{0};
+  std::size_t pending_handshakes_{0};
+};
+
+}  // namespace neat::net

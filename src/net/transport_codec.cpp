@@ -1,0 +1,65 @@
+// UDP and ICMP wire codecs.
+#include "net/checksum.hpp"
+#include "net/icmp.hpp"
+#include "net/ipv4.hpp"
+#include "net/udp.hpp"
+#include "net/wire.hpp"
+
+namespace neat::net {
+
+void UdpHeader::encode(Packet& pkt, Ipv4Addr src, Ipv4Addr dst) const {
+  const auto len = static_cast<std::uint16_t>(pkt.size() + kSize);
+  auto b = pkt.push(kSize);
+  put_u16(b, 0, src_port);
+  put_u16(b, 2, dst_port);
+  put_u16(b, 4, len);
+  put_u16(b, 6, 0);
+  std::uint16_t csum = transport_checksum(
+      src, dst, static_cast<std::uint8_t>(IpProto::kUdp), pkt.bytes());
+  if (csum == 0) csum = 0xffff;  // RFC 768: 0 means "no checksum"
+  put_u16(pkt.bytes(), 6, csum);
+}
+
+std::optional<UdpHeader> UdpHeader::decode(Packet& pkt, Ipv4Addr src,
+                                           Ipv4Addr dst) {
+  if (pkt.size() < kSize) return std::nullopt;
+  auto whole = pkt.bytes();
+  const std::uint16_t len = get_u16(whole, 4);
+  if (len < kSize || len > pkt.size()) return std::nullopt;
+  pkt.truncate(len);
+  if (get_u16(whole, 6) != 0 &&
+      !verify_transport_checksum(src, dst,
+                                 static_cast<std::uint8_t>(IpProto::kUdp),
+                                 pkt.bytes())) {
+    return std::nullopt;
+  }
+  auto b = pkt.pull(kSize);
+  UdpHeader h;
+  h.src_port = get_u16(b, 0);
+  h.dst_port = get_u16(b, 2);
+  return h;
+}
+
+void IcmpMessage::encode(Packet& pkt) const {
+  auto b = pkt.push(kHeaderSize);
+  put_u8(b, 0, static_cast<std::uint8_t>(type));
+  put_u8(b, 1, code);
+  put_u16(b, 2, 0);
+  put_u16(b, 4, ident);
+  put_u16(b, 6, seq);
+  put_u16(pkt.bytes(), 2, internet_checksum(pkt.bytes()));
+}
+
+std::optional<IcmpMessage> IcmpMessage::decode(Packet& pkt) {
+  if (pkt.size() < kHeaderSize) return std::nullopt;
+  if (internet_checksum(pkt.bytes()) != 0) return std::nullopt;
+  auto b = pkt.pull(kHeaderSize);
+  IcmpMessage m;
+  m.type = static_cast<Type>(get_u8(b, 0));
+  m.code = get_u8(b, 1);
+  m.ident = get_u16(b, 4);
+  m.seq = get_u16(b, 6);
+  return m;
+}
+
+}  // namespace neat::net

@@ -1,0 +1,42 @@
+// Big-endian (network byte order) wire encoding helpers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace neat::net {
+
+inline void put_u8(std::span<std::uint8_t> b, std::size_t off,
+                   std::uint8_t v) {
+  b[off] = v;
+}
+inline void put_u16(std::span<std::uint8_t> b, std::size_t off,
+                    std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v);
+}
+inline void put_u32(std::span<std::uint8_t> b, std::size_t off,
+                    std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 24);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  b[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+[[nodiscard]] inline std::uint8_t get_u8(std::span<const std::uint8_t> b,
+                                         std::size_t off) {
+  return b[off];
+}
+[[nodiscard]] inline std::uint16_t get_u16(std::span<const std::uint8_t> b,
+                                           std::size_t off) {
+  return static_cast<std::uint16_t>(b[off] << 8 | b[off + 1]);
+}
+[[nodiscard]] inline std::uint32_t get_u32(std::span<const std::uint8_t> b,
+                                           std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) << 24 |
+         static_cast<std::uint32_t>(b[off + 1]) << 16 |
+         static_cast<std::uint32_t>(b[off + 2]) << 8 |
+         static_cast<std::uint32_t>(b[off + 3]);
+}
+
+}  // namespace neat::net

@@ -1,0 +1,268 @@
+#include "nic/nic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "net/wire.hpp"
+
+namespace neat::nic {
+
+// ---------------------------------------------------------------------------
+// Nic
+// ---------------------------------------------------------------------------
+
+Nic::Nic(sim::Simulator& sim, net::MacAddr mac, net::Ipv4Addr ip,
+         NicParams params)
+    : sim_(sim),
+      mac_(mac),
+      ip_(ip),
+      params_(params),
+      indirection_(params.indirection_entries, 0),
+      rx_queues_(static_cast<std::size_t>(params.num_queues)),
+      rx_heads_(static_cast<std::size_t>(params.num_queues), 0) {}
+
+void Nic::set_active_queues(const std::vector<int>& queues) {
+  assert(!queues.empty());
+  for (std::size_t i = 0; i < indirection_.size(); ++i) {
+    indirection_[i] = queues[i % queues.size()];
+  }
+}
+
+void Nic::set_indirection(std::vector<int> table) {
+  assert(table.size() == indirection_.size());
+  indirection_ = std::move(table);
+}
+
+void Nic::add_flow_filter(const net::FlowKey& key, int queue) {
+  if (auto it = flows_.find(key); it != flows_.end()) {
+    it->second.queue = queue;
+    touch_lru(key);
+    return;
+  }
+  if (flows_.size() >= params_.flow_table_capacity) {
+    // Evict least recently used.
+    const net::FlowKey victim = lru_.back();
+    lru_.pop_back();
+    flows_.erase(victim);
+    ++stats_.filters_evicted;
+  }
+  lru_.push_front(key);
+  flows_.emplace(key, FlowEntry{queue, lru_.begin()});
+  ++stats_.filters_installed;
+}
+
+void Nic::remove_flow_filter(const net::FlowKey& key) {
+  if (auto it = flows_.find(key); it != flows_.end()) {
+    lru_.erase(it->second.lru_it);
+    flows_.erase(it);
+  }
+}
+
+std::optional<int> Nic::flow_filter(const net::FlowKey& key) const {
+  if (auto it = flows_.find(key); it != flows_.end()) return it->second.queue;
+  return std::nullopt;
+}
+
+void Nic::touch_lru(const net::FlowKey& key) {
+  auto it = flows_.find(key);
+  assert(it != flows_.end());
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+}
+
+std::optional<ParsedFlow> Nic::peek_flow(const net::Packet& frame,
+                                         net::Ipv4Addr local_ip) {
+  const auto b = frame.bytes();
+  if (b.size() < net::EthernetHeader::kSize + net::Ipv4Header::kSize) {
+    return std::nullopt;
+  }
+  std::size_t off = net::EthernetHeader::kSize;
+  const std::uint16_t ethertype = net::get_u16(b, 12);
+  if (ethertype != static_cast<std::uint16_t>(net::EtherType::kIpv4)) {
+    return std::nullopt;
+  }
+  const std::uint8_t vihl = b[off];
+  if (vihl >> 4 != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(vihl & 0x0f) * 4;
+  const auto proto = static_cast<net::IpProto>(b[off + 9]);
+  const net::Ipv4Addr src{net::get_u32(b, off + 12)};
+  const net::Ipv4Addr dst{net::get_u32(b, off + 16)};
+  const std::uint16_t frag = net::get_u16(b, off + 6);
+  ParsedFlow flow;
+  flow.key.local_ip = dst;
+  flow.key.remote_ip = src;
+  (void)local_ip;
+  if ((proto == net::IpProto::kTcp || proto == net::IpProto::kUdp) &&
+      (frag & 0x1fff) == 0) {  // ports only in the first fragment
+    const std::size_t t = off + ihl;
+    if (b.size() >= t + 4) {
+      flow.key.remote_port = net::get_u16(b, t);
+      flow.key.local_port = net::get_u16(b, t + 2);
+    }
+    if (proto == net::IpProto::kTcp && b.size() >= t + 14) {
+      flow.is_tcp = true;
+      const std::uint8_t flags = b[t + 13];
+      flow.fin = flags & 0x01;
+      flow.syn = flags & 0x02;
+      flow.rst = flags & 0x04;
+    }
+  }
+  return flow;
+}
+
+int Nic::rss_queue(net::Ipv4Addr remote_ip, std::uint16_t remote_port,
+                   net::Ipv4Addr local_ip, std::uint16_t local_port) const {
+  // RSS hashes (src, dst) as seen in the received packet: remote is source.
+  const std::uint32_t h =
+      hasher_.hash_tuple(remote_ip, local_ip, remote_port, local_port);
+  return indirection_[h % indirection_.size()];
+}
+
+int Nic::classify(const net::Packet& frame) const {
+  auto flow = peek_flow(frame, ip_);
+  if (!flow) return 0;  // ARP and friends: default queue
+  if (auto it = flows_.find(flow->key); it != flows_.end()) {
+    return it->second.queue;
+  }
+  if (flow->key.local_port == 0 && flow->key.remote_port == 0) return 0;
+  return rss_queue(flow->key.remote_ip, flow->key.remote_port,
+                   flow->key.local_ip, flow->key.local_port);
+}
+
+void Nic::transmit(net::PacketPtr frame) {
+  ++stats_.tx_frames;
+  stats_.tx_bytes += frame->size();
+  if (link_ != nullptr) link_->send(*this, std::move(frame));
+}
+
+void Nic::receive(net::PacketPtr frame) {
+  // MAC filtering.
+  if (frame->size() < net::EthernetHeader::kSize) return;
+  const auto b = frame->bytes();
+  net::MacAddr dst;
+  std::copy(b.begin(), b.begin() + 6, dst.bytes.begin());
+  if (dst != mac_ && !dst.is_broadcast()) {
+    ++stats_.rx_dropped_no_match;
+    return;
+  }
+  ++stats_.rx_frames;
+  stats_.rx_bytes += frame->size();
+
+  int queue = 0;
+  const auto flow = peek_flow(*frame, ip_);
+  if (flow && (flow->key.local_port != 0 || flow->key.remote_port != 0)) {
+    if (auto it = flows_.find(flow->key); it != flows_.end()) {
+      queue = it->second.queue;
+      touch_lru(flow->key);
+      if (params_.tracking_filters && flow->rst) {
+        remove_flow_filter(flow->key);  // flow is gone; free the entry
+      }
+    } else {
+      queue = rss_queue(flow->key.remote_ip, flow->key.remote_port,
+                        flow->key.local_ip, flow->key.local_port);
+      if (params_.tracking_filters && flow->is_tcp && flow->syn) {
+        // The paper's proposed hardware extension: remember where this
+        // flow's first packet went so later indirection changes (scale
+        // up/down) never move it.
+        add_flow_filter(flow->key, queue);
+      }
+    }
+  }
+
+  auto& q = rx_queues_[static_cast<std::size_t>(queue)];
+  auto& head = rx_heads_[static_cast<std::size_t>(queue)];
+  if (q.size() - head >= params_.queue_depth) {
+    ++stats_.rx_dropped_queue_full;
+    return;
+  }
+  frame->rx_queue = queue;
+  frame->nic_rx_time = sim_.now();
+  q.push_back(std::move(frame));
+  if (rx_notify_) rx_notify_(queue);
+}
+
+net::PacketPtr Nic::poll_rx(int queue) {
+  auto& q = rx_queues_[static_cast<std::size_t>(queue)];
+  auto& head = rx_heads_[static_cast<std::size_t>(queue)];
+  if (head >= q.size()) {
+    q.clear();
+    head = 0;
+    return nullptr;
+  }
+  net::PacketPtr p = std::move(q[head++]);
+  if (head == q.size()) {
+    q.clear();
+    head = 0;
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Link
+// ---------------------------------------------------------------------------
+
+Link::Link(sim::Simulator& sim, Nic& a, Nic& b, Params params)
+    : sim_(sim), ends_{&a, &b}, params_(params), rng_(sim.rng().split(0x11eb)) {
+  a.attach_link(this);
+  b.attach_link(this);
+}
+
+sim::SimTime Link::wire_time(const net::Packet& frame) const {
+  // A TSO super-segment goes out as ceil(size/MTU) MTU-sized frames, each
+  // paying preamble + header + FCS + IFG. We bill the aggregate wire time.
+  const std::size_t size = frame.size();
+  std::size_t frames = 1;
+  if (frame.tso && size > net::kEthernetMtu + net::EthernetHeader::kSize) {
+    frames = (size + net::kEthernetMtu - 1) / net::kEthernetMtu;
+  }
+  const std::size_t wire_bytes =
+      std::max(size, net::kEthernetMinPayload + net::EthernetHeader::kSize) +
+      frames * net::kEthernetWireOverhead;
+  const double ns =
+      static_cast<double>(wire_bytes) * 8.0 / params_.bandwidth_gbps;
+  return std::max<sim::SimTime>(1, static_cast<sim::SimTime>(ns));
+}
+
+void Link::send(Nic& from, net::PacketPtr frame) {
+  const int d = &from == ends_[0] ? 0 : 1;
+  Nic* to = ends_[1 - d];
+  Direction& dir = dir_[d];
+
+  if (params_.drop_probability > 0 && rng_.chance(params_.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+  if (params_.corrupt_probability > 0 &&
+      rng_.chance(params_.corrupt_probability)) {
+    // Flip a byte somewhere in the frame; checksums must catch this.
+    auto b = frame->bytes();
+    if (!b.empty()) {
+      b[rng_.below(b.size())] ^= 0xff;
+      ++corrupted_;
+    }
+  }
+
+  if (tap_) tap_(from, *frame);
+
+  const sim::SimTime wt = wire_time(*frame);
+  const sim::SimTime start = std::max(sim_.now(), dir.busy_until);
+  dir.busy_until = start + wt;
+  dir.busy_accum += wt;
+  const sim::SimTime arrival = dir.busy_until + params_.propagation;
+  sim_.queue().schedule_at(arrival, [this, to, frame = std::move(frame)] {
+    ++delivered_;
+    to->receive(frame);
+  });
+}
+
+double Link::utilization(sim::SimTime window_start, sim::SimTime now,
+                         int d) const {
+  if (now <= window_start) return 0.0;
+  (void)window_start;
+  return static_cast<double>(dir_[d].busy_accum) / static_cast<double>(now);
+}
+
+}  // namespace neat::nic

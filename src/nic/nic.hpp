@@ -1,0 +1,208 @@
+// Multi-queue NIC model in the style of the Intel 82599 (i82599) the paper
+// used: RSS with an indirection table, an exact-match flow-director table
+// (up to 8K filters), TSO, and per-queue bounded RX rings.
+//
+// Classification and steering run "in hardware": they consume no simulated
+// CPU cycles. The driver process is told which queue a packet landed on and
+// charges its own per-packet cost — that separation is what lets NEaT treat
+// the NIC as "an additional processing core that runs certain parts of the
+// stack very efficiently" (paper §4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/packet.hpp"
+#include "nic/toeplitz.hpp"
+#include "sim/simulator.hpp"
+
+namespace neat::nic {
+
+class Link;
+
+struct NicParams {
+  int num_queues{16};
+  std::size_t queue_depth{1024};
+  /// Exact-match flow steering table capacity ("Intel 10G cards can hold up
+  /// to 8 thousand filters").
+  std::size_t flow_table_capacity{8192};
+  /// RSS indirection table size (82599: 128 entries).
+  std::size_t indirection_entries{128};
+  /// Emulate the paper's proposed NIC extension: hardware-installed
+  /// "tracking" filters that pin each flow to the queue its SYN was steered
+  /// to, so reconfiguring the indirection table (scale up/down) never moves
+  /// an existing connection.
+  bool tracking_filters{false};
+  bool tso{true};
+};
+
+struct NicStats {
+  std::uint64_t rx_frames{0};
+  std::uint64_t rx_bytes{0};
+  std::uint64_t tx_frames{0};
+  std::uint64_t tx_bytes{0};
+  std::uint64_t rx_dropped_queue_full{0};
+  std::uint64_t rx_dropped_no_match{0};  // wrong MAC
+  std::uint64_t filters_installed{0};
+  std::uint64_t filters_evicted{0};
+};
+
+/// Per-flow observation parsed by the classifier (also exposed to tests).
+struct ParsedFlow {
+  net::FlowKey key;  // local = this host's side
+  bool is_tcp{false};
+  bool syn{false};
+  bool fin{false};
+  bool rst{false};
+};
+
+class Nic {
+ public:
+  /// `rx_notify(queue)` is the doorbell to the driver: called (in zero
+  /// simulated time) whenever a packet is appended to an RX queue.
+  Nic(sim::Simulator& sim, net::MacAddr mac, net::Ipv4Addr ip,
+      NicParams params);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  [[nodiscard]] net::MacAddr mac() const { return mac_; }
+  [[nodiscard]] net::Ipv4Addr ip() const { return ip_; }
+  [[nodiscard]] const NicParams& params() const { return params_; }
+  [[nodiscard]] const NicStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  void set_rx_notify(std::function<void(int queue)> cb) {
+    rx_notify_ = std::move(cb);
+  }
+
+  // --- control plane (driver) ---------------------------------------------
+
+  /// Spread RSS buckets evenly over `queues` (the active-replica set).
+  void set_active_queues(const std::vector<int>& queues);
+
+  /// Raw indirection table (bucket -> queue).
+  void set_indirection(std::vector<int> table);
+  [[nodiscard]] const std::vector<int>& indirection() const {
+    return indirection_;
+  }
+
+  /// Install an exact-match steering filter. Evicts LRU when full.
+  void add_flow_filter(const net::FlowKey& key, int queue);
+  void remove_flow_filter(const net::FlowKey& key);
+  [[nodiscard]] std::optional<int> flow_filter(const net::FlowKey& key) const;
+  [[nodiscard]] std::size_t flow_filter_count() const { return flows_.size(); }
+
+  // --- data plane -----------------------------------------------------------
+
+  /// TX entry (from the driver): frame goes out on the attached link.
+  void transmit(net::PacketPtr frame);
+
+  /// RX entry (from the link): classify, steer, enqueue, notify driver.
+  void receive(net::PacketPtr frame);
+
+  /// Driver-side dequeue; nullptr when the queue is empty.
+  [[nodiscard]] net::PacketPtr poll_rx(int queue);
+  [[nodiscard]] std::size_t rx_depth(int queue) const {
+    return rx_queues_[static_cast<std::size_t>(queue)].size();
+  }
+
+  /// Which queue would this frame be steered to? (exposed for tests and for
+  /// RSS-aware source-port selection in the client library).
+  [[nodiscard]] int classify(const net::Packet& frame) const;
+
+  /// Queue the RSS indirection currently assigns to this 4-tuple.
+  [[nodiscard]] int rss_queue(net::Ipv4Addr remote_ip,
+                              std::uint16_t remote_port,
+                              net::Ipv4Addr local_ip,
+                              std::uint16_t local_port) const;
+
+  /// Parse a frame's flow information without consuming it.
+  [[nodiscard]] static std::optional<ParsedFlow> peek_flow(
+      const net::Packet& frame, net::Ipv4Addr local_ip);
+
+  // Link wiring (used by Link).
+  void attach_link(Link* link) { link_ = link; }
+  [[nodiscard]] Link* link() const { return link_; }
+
+ private:
+  void touch_lru(const net::FlowKey& key);
+
+  sim::Simulator& sim_;
+  net::MacAddr mac_;
+  net::Ipv4Addr ip_;
+  NicParams params_;
+  NicStats stats_;
+  ToeplitzHasher hasher_;
+  std::vector<int> indirection_;
+  std::vector<std::vector<net::PacketPtr>> rx_queues_;  // FIFO per queue
+  std::vector<std::size_t> rx_heads_;
+  std::function<void(int)> rx_notify_;
+  Link* link_{nullptr};
+
+  struct FlowEntry {
+    int queue;
+    std::list<net::FlowKey>::iterator lru_it;
+  };
+  std::unordered_map<net::FlowKey, FlowEntry, net::FlowKeyHash> flows_;
+  std::list<net::FlowKey> lru_;  // front = most recent
+};
+
+/// Full-duplex point-to-point 10GbE link (the SFP+ DAC cable between the two
+/// testbed machines). Each direction serializes frames FIFO at the
+/// configured bandwidth; optional loss/corruption injection for tests.
+class Link {
+ public:
+  struct Params {
+    double bandwidth_gbps{10.0};
+    sim::SimTime propagation{500 * sim::kNanosecond};
+    double drop_probability{0.0};
+    double corrupt_probability{0.0};
+  };
+
+  Link(sim::Simulator& sim, Nic& a, Nic& b, Params params);
+  Link(sim::Simulator& sim, Nic& a, Nic& b) : Link(sim, a, b, Params{}) {}
+
+  void set_drop_probability(double p) { params_.drop_probability = p; }
+  void set_corrupt_probability(double p) { params_.corrupt_probability = p; }
+
+  /// Observation tap: called for every frame put on the wire (after
+  /// drop/corrupt injection), with the sending NIC. For tracing tools.
+  using Tap = std::function<void(const Nic& from, const net::Packet& frame)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  /// Called by a NIC to put a frame on the wire.
+  void send(Nic& from, net::PacketPtr frame);
+
+  [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t frames_corrupted() const { return corrupted_; }
+  [[nodiscard]] std::uint64_t frames_delivered() const { return delivered_; }
+  [[nodiscard]] double utilization(sim::SimTime window_start,
+                                   sim::SimTime now, int dir) const;
+
+ private:
+  struct Direction {
+    sim::SimTime busy_until{0};
+    std::uint64_t busy_accum{0};  // ns of wire time ever scheduled
+  };
+
+  /// Wire time for a frame, TSO-aware (per-MTU-frame overhead).
+  [[nodiscard]] sim::SimTime wire_time(const net::Packet& frame) const;
+
+  sim::Simulator& sim_;
+  Nic* ends_[2];
+  Params params_;
+  Tap tap_;
+  Direction dir_[2];
+  std::uint64_t dropped_{0};
+  std::uint64_t corrupted_{0};
+  std::uint64_t delivered_{0};
+  sim::Rng rng_;
+};
+
+}  // namespace neat::nic

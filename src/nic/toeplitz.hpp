@@ -1,0 +1,79 @@
+// Toeplitz RSS hash (Microsoft RSS specification), as implemented by the
+// Intel 82599 the paper's testbed used. The NIC steers each incoming flow to
+// a queue — and therefore to a NEaT replica — based on this hash of the
+// 5-tuple, which is what gives NEaT random, replica-affine connection
+// placement without any software coordination.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "net/addr.hpp"
+
+namespace neat::nic {
+
+/// The de-facto standard 40-byte key (from the MS RSS verification suite).
+inline constexpr std::array<std::uint8_t, 40> kDefaultRssKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
+
+class ToeplitzHasher {
+ public:
+  explicit ToeplitzHasher(std::span<const std::uint8_t> key = kDefaultRssKey) {
+    for (std::size_t i = 0; i < key_.size() && i < key.size(); ++i) {
+      key_[i] = key[i];
+    }
+  }
+
+  /// Hash an arbitrary input byte string.
+  [[nodiscard]] std::uint32_t hash(std::span<const std::uint8_t> input) const {
+    std::uint32_t result = 0;
+    // Sliding 32-bit window over the key, advanced one bit per input bit.
+    std::uint32_t window = static_cast<std::uint32_t>(key_[0]) << 24 |
+                           static_cast<std::uint32_t>(key_[1]) << 16 |
+                           static_cast<std::uint32_t>(key_[2]) << 8 |
+                           static_cast<std::uint32_t>(key_[3]);
+    std::size_t next_byte = 4;
+    for (const std::uint8_t byte : input) {
+      for (int bit = 7; bit >= 0; --bit) {
+        if (byte >> bit & 1) result ^= window;
+        window <<= 1;
+        const std::size_t bit_index =
+            next_byte * 8 + static_cast<std::size_t>(7 - bit);
+        const std::size_t key_bit = bit_index % (key_.size() * 8);
+        if (key_[key_bit / 8] >> (7 - key_bit % 8) & 1) window |= 1;
+      }
+      ++next_byte;
+    }
+    return result;
+  }
+
+  /// TCP/UDP IPv4 4-tuple hash: src ip, dst ip, src port, dst port — the
+  /// order defined by the RSS spec.
+  [[nodiscard]] std::uint32_t hash_tuple(net::Ipv4Addr src, net::Ipv4Addr dst,
+                                         std::uint16_t src_port,
+                                         std::uint16_t dst_port) const {
+    std::array<std::uint8_t, 12> in{};
+    in[0] = static_cast<std::uint8_t>(src.value >> 24);
+    in[1] = static_cast<std::uint8_t>(src.value >> 16);
+    in[2] = static_cast<std::uint8_t>(src.value >> 8);
+    in[3] = static_cast<std::uint8_t>(src.value);
+    in[4] = static_cast<std::uint8_t>(dst.value >> 24);
+    in[5] = static_cast<std::uint8_t>(dst.value >> 16);
+    in[6] = static_cast<std::uint8_t>(dst.value >> 8);
+    in[7] = static_cast<std::uint8_t>(dst.value);
+    in[8] = static_cast<std::uint8_t>(src_port >> 8);
+    in[9] = static_cast<std::uint8_t>(src_port);
+    in[10] = static_cast<std::uint8_t>(dst_port >> 8);
+    in[11] = static_cast<std::uint8_t>(dst_port);
+    return hash(in);
+  }
+
+ private:
+  std::array<std::uint8_t, 40> key_{};
+};
+
+}  // namespace neat::nic

@@ -1,0 +1,124 @@
+// Deterministic discrete-event queue.
+//
+// Events scheduled for the same virtual time fire in schedule order (FIFO),
+// which makes every run with the same seed bit-for-bit reproducible — a
+// property the NEaT test suite relies on (DESIGN.md invariant 7).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace neat::sim {
+
+/// Handle to a scheduled event. Allows O(1) cancellation; cancelled events
+/// are skipped (and destroyed) when they reach the head of the queue.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (auto p = alive_.lock()) *p = false;
+  }
+
+  /// True while the event is scheduled and not cancelled or fired.
+  [[nodiscard]] bool pending() const {
+    auto p = alive_.lock();
+    return p && *p;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+/// Min-heap of timestamped callbacks with deterministic tie-breaking.
+class EventQueue {
+ public:
+  /// Current virtual time. Advances only inside run_until()/step().
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Number of live (non-cancelled) events still queued.
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now). Times in the past
+  /// are clamped to `now` — firing immediately on the next step.
+  EventHandle schedule_at(SimTime at, std::function<void()> fn) {
+    if (at < now_) at = now_;
+    auto alive = std::make_shared<bool>(true);
+    heap_.push(Event{at, seq_++, std::move(fn), alive});
+    ++live_;
+    return EventHandle{alive};
+  }
+
+  /// Schedule `fn` to run `delay` ns from now.
+  EventHandle schedule(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run the earliest pending event, advancing time to it.
+  /// Returns false if there is nothing left to run.
+  bool step() {
+    while (!heap_.empty()) {
+      // Copy out then pop so the callback may schedule new events freely.
+      Event ev = heap_.top();
+      heap_.pop();
+      if (!*ev.alive) continue;  // cancelled: discard silently
+      *ev.alive = false;
+      --live_;
+      now_ = ev.time;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run events until the queue drains or virtual time would exceed
+  /// `deadline`. Time is left at min(deadline, last event time).
+  void run_until(SimTime deadline) {
+    while (!heap_.empty()) {
+      const Event& top = heap_.top();
+      if (!*top.alive) {  // drop cancelled heads without advancing time
+        heap_.pop();
+        continue;
+      }
+      if (top.time > deadline) break;
+      step();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  /// Run until the queue is completely drained.
+  void run() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    SimTime time{};
+    std::uint64_t seq{};
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_{0};
+  std::uint64_t seq_{0};
+  std::size_t live_{0};
+};
+
+}  // namespace neat::sim

@@ -1,0 +1,259 @@
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sim/machine.hpp"
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+
+namespace neat::sim {
+
+// ---------------------------------------------------------------------------
+// HwThread
+// ---------------------------------------------------------------------------
+
+namespace {
+/// One queued unit of work. `kernel_cost` is charged to the kernel bucket
+/// (resume / kernel-assisted wake) before the useful `cost`.
+struct JobTag {};
+}  // namespace
+
+HwThread::HwThread(Simulator& sim, const MachineParams& params, int core_id,
+                   int thread_id)
+    : sim_(sim), params_(params), core_id_(core_id), thread_id_(thread_id) {}
+
+double HwThread::speed_factor() const {
+  if (sibling_ != nullptr && sibling_->contending()) {
+    return params_.ht_shared_speed;
+  }
+  return 1.0;
+}
+
+void HwThread::submit(Process& proc, Cycles cost, std::function<void()> fn,
+                      Cycles kernel_cost) {
+  queue_.push_back(Job{&proc, cost, kernel_cost, std::move(fn), proc.epoch()});
+  if (state_ == State::kPolling) preempt_poll();
+  if (state_ == State::kIdle) start_next();
+}
+
+void HwThread::preempt_poll() {
+  assert(state_ == State::kPolling);
+  assert(polling_proc_ != nullptr);
+  // Account the cycles burned spinning until this instant.
+  const SimTime spun = sim_.now() - poll_started_;
+  polling_proc_->account_polling(params_.freq.cycles_in(spun));
+  polling_proc_ = nullptr;
+  ++run_token_;  // invalidate the pending poll-expiry event
+  state_ = State::kIdle;
+}
+
+void HwThread::begin_poll(Process& proc) {
+  assert(state_ == State::kIdle);
+  state_ = State::kPolling;
+  polling_proc_ = &proc;
+  poll_started_ = sim_.now();
+  const auto token = ++run_token_;
+  sim_.queue().schedule(params_.poll_grace, [this, token, p = &proc] {
+    if (run_token_ != token || state_ != State::kPolling) return;
+    p->account_polling(params_.freq.cycles_in(params_.poll_grace));
+    polling_proc_ = nullptr;
+    state_ = State::kIdle;
+    p->suspend();
+  });
+}
+
+void HwThread::start_next() {
+  while (true) {
+    if (queue_head_ >= queue_.size()) {
+      queue_.clear();
+      queue_head_ = 0;
+      state_ = State::kIdle;
+      // Everyone pinned here is out of work: poll (sole pollable process)
+      // or suspend (colocated processes use blocking channels).
+      for (auto* thread_proc : pinned_procs_) thread_proc->became_idle();
+      return;
+    }
+    Job job = std::move(queue_[queue_head_++]);
+    Process& p = *job.proc;
+    if (p.crashed() || p.epoch() != job.epoch) {
+      // Work queued to a dead (or since-restarted) process evaporates.
+      p.backlog_ = p.backlog_ > 0 ? p.backlog_ - 1 : 0;
+      continue;
+    }
+    state_ = State::kExecuting;
+    const double factor = speed_factor();
+    const auto scaled = static_cast<Cycles>(
+        static_cast<double>(job.cost + job.kernel_cost) * params_.work_scale);
+    const SimTime dur = params_.freq.duration(scaled, factor);
+    const auto epoch = job.epoch;
+    sim_.queue().schedule(dur, [this, job = std::move(job), epoch]() mutable {
+      complete_job(std::move(job), epoch);
+    });
+    return;
+  }
+}
+
+void HwThread::complete_job(Job job, std::uint64_t epoch) {
+  Process& p = *job.proc;
+  if (!p.crashed() && p.epoch() == epoch) {
+    p.account_processing(job.cost);
+    if (p.backlog_ > 0) --p.backlog_;
+    if (job.fn) job.fn();
+  } else if (p.backlog_ > 0) {
+    --p.backlog_;
+  }
+  state_ = State::kIdle;
+  start_next();
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+Machine::Machine(Simulator& sim, MachineParams params)
+    : sim_(sim), params_(std::move(params)) {
+  assert(params_.cores > 0);
+  assert(params_.threads_per_core >= 1 && params_.threads_per_core <= 2);
+  threads_.reserve(
+      static_cast<std::size_t>(params_.cores * params_.threads_per_core));
+  for (int c = 0; c < params_.cores; ++c) {
+    for (int t = 0; t < params_.threads_per_core; ++t) {
+      threads_.push_back(std::make_unique<HwThread>(sim_, params_, c, t));
+    }
+  }
+  if (params_.threads_per_core == 2) {
+    for (int c = 0; c < params_.cores; ++c) {
+      HwThread& a = thread(c, 0);
+      HwThread& b = thread(c, 1);
+      a.sibling_ = &b;
+      b.sibling_ = &a;
+    }
+  }
+}
+
+MachineParams amd_opteron_6168() {
+  MachineParams p;
+  p.name = "amd12";
+  p.cores = 12;
+  p.threads_per_core = 1;
+  p.freq = Frequency{1.9};
+  p.work_scale = 1.0;
+  return p;
+}
+
+MachineParams intel_xeon_e5520() {
+  MachineParams p;
+  p.name = "xeon8";
+  p.cores = 8;
+  p.threads_per_core = 2;
+  p.freq = Frequency{2.26};
+  p.work_scale = 1.0;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+Process::Process(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+Process::~Process() {
+  if (thread_ != nullptr) thread_->remove_pinned(*this);
+}
+
+void Process::pin(HwThread& thread) {
+  if (thread_ != nullptr) thread_->remove_pinned(*this);
+  thread_ = &thread;
+  thread.add_pinned(*this);
+}
+
+bool Process::can_poll() const {
+  // Only a process alone on its hardware thread may spin: colocated
+  // processes fall back to blocking (kernel) channels automatically.
+  return can_poll_ && thread_ != nullptr && thread_->pinned_count() == 1;
+}
+
+void Process::post(Cycles cost, std::function<void()> fn) {
+  assert(thread_ != nullptr && "process must be pinned before receiving work");
+  if (crashed_) return;
+  ++backlog_;
+  const MachineParams& mp = thread_->params();
+  if (run_state_ == RunState::kSuspended || run_state_ == RunState::kWaking) {
+    // Wake path. MWAIT wake when alone on the hardware thread, otherwise a
+    // kernel-assisted wake (IPI + context switch), which is both slower and
+    // burns destination-side kernel cycles. Messages arriving while the
+    // wake is still in flight are delivered at the same deadline so that
+    // per-process FIFO order is preserved (the event queue breaks ties in
+    // schedule order).
+    Cycles kernel_cost = 0;
+    if (run_state_ == RunState::kSuspended) {
+      ++stats_.wakeups;
+      const bool alone = thread_->pinned_count() == 1;
+      const SimTime latency =
+          alone ? mp.wake_fast_latency : mp.wake_kernel_latency;
+      kernel_cost = mp.resume_cycles + (alone ? 0 : mp.wake_kernel_cycles);
+      account_kernel(kernel_cost);
+      wake_deadline_ = sim_.now() + latency;
+      run_state_ = RunState::kWaking;
+    }
+    const auto epoch = epoch_;
+    sim_.queue().schedule_at(
+        wake_deadline_,
+        [this, epoch, cost, kernel_cost, fn = std::move(fn)]() mutable {
+          if (crashed_ || epoch_ != epoch) return;
+          run_state_ = RunState::kAwake;
+          thread_->submit(*this, cost, std::move(fn), kernel_cost);
+        });
+    return;
+  }
+  run_state_ = RunState::kAwake;
+  thread_->submit(*this, cost, std::move(fn));
+}
+
+EventHandle Process::after(SimTime delay, Cycles cost,
+                           std::function<void()> fn) {
+  const auto epoch = epoch_;
+  return sim_.queue().schedule(delay,
+                               [this, epoch, cost, fn = std::move(fn)]() mutable {
+                                 if (crashed_ || epoch_ != epoch) return;
+                                 post(cost, std::move(fn));
+                               });
+}
+
+void Process::became_idle() {
+  if (crashed_ || backlog_ != 0 || run_state_ != RunState::kAwake) return;
+  if (can_poll()) {
+    run_state_ = RunState::kPolling;
+    thread_->begin_poll(*this);
+  } else {
+    suspend();
+  }
+}
+
+void Process::suspend() {
+  if (run_state_ == RunState::kSuspended) return;
+  run_state_ = RunState::kSuspended;
+  ++stats_.suspends;
+  account_kernel(thread_->params().suspend_cycles);
+}
+
+void Process::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++epoch_;
+  backlog_ = 0;
+  run_state_ = RunState::kSuspended;
+  on_crash();
+}
+
+void Process::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++epoch_;
+  backlog_ = 0;
+  run_state_ = RunState::kSuspended;
+  on_restart();
+}
+
+}  // namespace neat::sim

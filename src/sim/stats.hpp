@@ -1,0 +1,125 @@
+// Measurement helpers: streaming summaries and fixed-layout latency
+// histograms used by the load generator and the experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "sim/time.hpp"
+
+namespace neat::sim {
+
+/// Streaming mean / min / max / variance (Welford).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  void reset() { *this = Summary{}; }
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Log-scale latency histogram: 1 ns .. ~1000 s in ~7.5% buckets.
+/// Supports approximate quantiles with bounded relative error.
+class LatencyHistogram {
+ public:
+  static constexpr int kBucketsPerDecade = 32;
+  static constexpr int kDecades = 12;
+  static constexpr int kBuckets = kBucketsPerDecade * kDecades;
+
+  void add(SimTime ns) {
+    summary_.add(static_cast<double>(ns));
+    buckets_[index(ns)]++;
+    ++count_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean_ns() const { return summary_.mean(); }
+  [[nodiscard]] double max_ns() const { return summary_.max(); }
+
+  /// q in [0, 1]; returns the upper edge (ns) of the bucket containing the
+  /// q-quantile.
+  [[nodiscard]] double quantile_ns(double q) const {
+    if (count_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets_[static_cast<std::size_t>(i)];
+      if (seen > target) return upper_edge(i);
+    }
+    return upper_edge(kBuckets - 1);
+  }
+
+  void reset() {
+    buckets_.fill(0);
+    count_ = 0;
+    summary_.reset();
+  }
+
+ private:
+  static int index(SimTime ns) {
+    if (ns < 1) ns = 1;
+    const double lg = std::log10(static_cast<double>(ns));
+    int i = static_cast<int>(lg * kBucketsPerDecade);
+    return std::clamp(i, 0, kBuckets - 1);
+  }
+  static double upper_edge(int i) {
+    return std::pow(10.0, static_cast<double>(i + 1) / kBucketsPerDecade);
+  }
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_{0};
+  Summary summary_;
+};
+
+/// Windowed rate meter: events per second over [mark, now].
+class RateMeter {
+ public:
+  void record(std::uint64_t n = 1) { count_ += n; }
+
+  /// Start a fresh measurement window at time `t`.
+  void mark(SimTime t) {
+    mark_time_ = t;
+    count_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  /// Events per second between mark and `now`.
+  [[nodiscard]] double rate(SimTime now) const {
+    const SimTime dt = now > mark_time_ ? now - mark_time_ : 0;
+    if (dt == 0) return 0.0;
+    return static_cast<double>(count_) / to_seconds(dt);
+  }
+
+ private:
+  std::uint64_t count_{0};
+  SimTime mark_time_{0};
+};
+
+}  // namespace neat::sim

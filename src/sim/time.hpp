@@ -1,0 +1,59 @@
+// Virtual time and CPU-cycle accounting for the NEaT discrete-event simulator.
+//
+// The simulator measures wall-clock virtual time in integer nanoseconds and CPU
+// work in integer cycles. Cycles convert to time through the frequency of the
+// hardware thread executing the work, which lets the same protocol code run on
+// machines with different clock speeds (the paper's 1.9 GHz Opteron vs the
+// 2.26 GHz Xeon).
+#pragma once
+
+#include <cstdint>
+
+namespace neat::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// CPU work in cycles (before any frequency / hyper-threading scaling).
+using Cycles = std::uint64_t;
+
+/// A frequency in GHz; also cycles-per-nanosecond.
+struct Frequency {
+  double ghz{1.0};
+
+  /// Time taken to execute `c` cycles at `speed_factor` (0 < factor <= 1)
+  /// of this frequency, rounded up to at least 1 ns for nonzero work.
+  [[nodiscard]] SimTime duration(Cycles c, double speed_factor = 1.0) const {
+    if (c == 0) return 0;
+    const double ns = static_cast<double>(c) / (ghz * speed_factor);
+    const auto t = static_cast<SimTime>(ns);
+    return t == 0 ? 1 : t;
+  }
+
+  /// Number of cycles this frequency executes in `ns` nanoseconds.
+  [[nodiscard]] Cycles cycles_in(SimTime ns) const {
+    return static_cast<Cycles>(static_cast<double>(ns) * ghz);
+  }
+};
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Convert a SimTime interval to (floating point) seconds.
+[[nodiscard]] inline double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Convert a SimTime interval to (floating point) milliseconds.
+[[nodiscard]] inline double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Convert a SimTime interval to (floating point) microseconds.
+[[nodiscard]] inline double to_micros(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+}  // namespace neat::sim

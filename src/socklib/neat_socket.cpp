@@ -1,0 +1,194 @@
+#include "socklib/neat_socket.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace neat::socklib {
+
+const char* to_string(CloseReason r) {
+  switch (r) {
+    case CloseReason::kNormal: return "normal";
+    case CloseReason::kReset: return "reset";
+    case CloseReason::kTimeout: return "timeout";
+    case CloseReason::kRefused: return "refused";
+    case CloseReason::kStackFailure: return "stack-failure";
+  }
+  return "?";
+}
+
+namespace {
+CloseReason map_reason(net::TcpCloseReason r) {
+  switch (r) {
+    case net::TcpCloseReason::kNormal: return CloseReason::kNormal;
+    case net::TcpCloseReason::kReset: return CloseReason::kReset;
+    case net::TcpCloseReason::kTimeout: return CloseReason::kTimeout;
+    case net::TcpCloseReason::kRefused: return CloseReason::kRefused;
+    case net::TcpCloseReason::kStackFailure:
+      return CloseReason::kStackFailure;
+  }
+  return CloseReason::kNormal;
+}
+}  // namespace
+
+NeatSocket::NeatSocket(sim::Process& app, StackReplica& replica,
+                       const StackCosts& costs, net::TcpSocketPtr tcp)
+    : app_(app),
+      replica_(replica),
+      costs_(costs),
+      tcp_(std::move(tcp)),
+      tx_ring_(std::min<std::size_t>(
+          32768, tcp_->send_space() > 0 ? tcp_->send_space() : 32768)),
+      to_stack_(replica.tcp_process(), costs.doorbell_take, [] {}),
+      to_app_(app, costs.app_notify, [] {}) {}
+
+void NeatSocket::init() {
+  // Persistent handlers hold weak ownership: the doorbells live inside this
+  // object and the TCP socket holds its callbacks — strong captures would
+  // form reference cycles and leak a socket per connection.
+  std::weak_ptr<NeatSocket> wp = weak_from_this();
+
+  to_stack_.set_handler([wp] {
+    if (auto s = wp.lock()) s->pump();
+  });
+  to_app_.set_handler([wp] {
+    if (auto s = wp.lock()) s->dispatch();
+  });
+
+  net::TcpSocket::Callbacks cb;
+  cb.on_established = [wp] {
+    if (auto s = wp.lock()) s->raise(kEvConnected);
+  };
+  cb.on_readable = [wp] {
+    if (auto s = wp.lock()) s->raise(kEvReadable);
+  };
+  cb.on_writable = [wp] {
+    auto s = wp.lock();
+    if (!s) return;
+    // Replica context: more TCP send space — keep draining the ring.
+    s->pump();
+    if (s->want_write_ && s->tx_ring_.writable() > 0) {
+      s->want_write_ = false;
+      s->raise(kEvWritable);
+    }
+  };
+  cb.on_closed = [wp](net::TcpCloseReason r) {
+    auto s = wp.lock();
+    if (!s) return;
+    s->close_reason_ = map_reason(r);
+    s->raise(kEvClosed);
+  };
+  tcp_->set_callbacks(std::move(cb));
+}
+
+std::size_t NeatSocket::write(std::span<const std::uint8_t> data) {
+  if (failed_ || close_requested_) return 0;
+  const std::size_t n = tx_ring_.write(data);
+  if (n < data.size()) want_write_ = true;
+  if (n > 0) to_stack_.ring();
+  return n;
+}
+
+std::size_t NeatSocket::read(std::span<std::uint8_t> dst) {
+  if (failed_) return 0;
+  return tcp_->recv(dst);
+}
+
+void NeatSocket::close() {
+  if (failed_ || close_requested_) return;
+  close_requested_ = true;
+  // The owner (SockLib) may drop its reference right after close(); the
+  // teardown job keeps the socket alive until the FIN has been issued, so
+  // capture a strong reference rather than going through the weak-handler
+  // doorbell.
+  auto self = shared_from_this();
+  replica_.tcp_process().post(costs_.doorbell_take, [self] { self->pump(); });
+}
+
+void NeatSocket::set_events(Events ev) {
+  ev_ = std::move(ev);
+  // Anything already pending (data that raced ahead of accept())?
+  if (ev_.on_readable && (tcp_->readable() > 0 || tcp_->eof())) {
+    raise(kEvReadable);
+  }
+  if (tcp_->state() == net::TcpState::kClosed && !closed_delivered_) {
+    raise(kEvClosed);
+  }
+}
+
+void NeatSocket::reattach(net::TcpSocketPtr tcp) {
+  if (failed_ || closed_delivered_) return;
+  tcp_ = std::move(tcp);
+  pump_scheduled_ = false;
+  init();  // rewire TCP callbacks + doorbell handlers to the new socket
+  // Anything buffered pre-crash is readable again; resume sending too.
+  if (tcp_->readable() > 0) raise(kEvReadable);
+  to_stack_.ring();
+}
+
+void NeatSocket::fail() {
+  if (failed_) return;
+  failed_ = true;
+  close_reason_ = CloseReason::kStackFailure;
+  raise(kEvClosed);
+}
+
+void NeatSocket::pump() {
+  // Replica context: move bytes tx_ring -> TCP send buffer, charging the
+  // replica for the copy. One outstanding drain job at a time.
+  if (pump_scheduled_ || failed_) return;
+  const std::size_t n = std::min(tx_ring_.readable(), tcp_->send_space());
+  if (n == 0) {
+    if (close_requested_) {
+      if (tx_ring_.empty()) {
+        if (tcp_->state() != net::TcpState::kClosed) tcp_->close();
+        self_keepalive_.reset();
+      } else {
+        // Closed by the app with unsent data and a stalled TCP window:
+        // keep ourselves alive (like a kernel draining a closed socket in
+        // the background) until on_writable resumes the pump.
+        self_keepalive_ = shared_from_this();
+      }
+    }
+    return;
+  }
+  pump_scheduled_ = true;
+  auto self = shared_from_this();
+  replica_.tcp_process().post(
+      costs_.sock_drain_base + costs_.bytes_cost(n), [self, n] {
+        self->pump_scheduled_ = false;
+        if (self->failed_) return;
+        std::vector<std::uint8_t> buf(n);
+        const std::size_t got = self->tx_ring_.read(buf);
+        if (got > 0) {
+          self->tcp_->send(std::span<const std::uint8_t>{buf.data(), got});
+        }
+        if (self->want_write_ && self->tx_ring_.writable() > 0) {
+          self->want_write_ = false;
+          self->raise(kEvWritable);
+        }
+        self->pump();  // either more data, or the deferred close
+      });
+}
+
+void NeatSocket::raise(std::uint32_t bits) {
+  pending_events_ |= bits;
+  to_app_.ring();
+}
+
+void NeatSocket::dispatch() {
+  // App context: deliver coalesced events.
+  const std::uint32_t ev = pending_events_;
+  pending_events_ = 0;
+  if ((ev & kEvConnected) && ev_.on_connected) ev_.on_connected();
+  if ((ev & kEvReadable) && ev_.on_readable) ev_.on_readable();
+  if ((ev & kEvWritable) && ev_.on_writable) ev_.on_writable();
+  if (ev & kEvClosed) {
+    if (!closed_delivered_) {
+      closed_delivered_ = true;
+      tx_ring_.release();
+      if (ev_.on_closed) ev_.on_closed(close_reason_);
+    }
+  }
+}
+
+}  // namespace neat::socklib

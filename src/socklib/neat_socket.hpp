@@ -1,0 +1,99 @@
+// The per-socket shared-memory data path between an application and its
+// stack replica (the design of [35], "On sockets and system calls").
+//
+// An app-side write goes into the tx ring and — at most once per batch —
+// rings a doorbell at the replica; the replica drains the ring into its TCP
+// send buffer in its own context, charged its own cycles. Receives read the
+// TCP receive ring directly (it is the shared buffer). Neither direction
+// involves the SYSCALL server: this is the syscall-less fast path that
+// makes the whole design "agnostic to the number of network stack
+// replicas".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "ipc/byte_ring.hpp"
+#include "ipc/doorbell.hpp"
+#include "neat/costs.hpp"
+#include "neat/replica.hpp"
+#include "net/tcp.hpp"
+#include "socklib/socket_api.hpp"
+
+namespace neat::socklib {
+
+class NeatSocket : public std::enable_shared_from_this<NeatSocket> {
+ public:
+  struct Events {
+    std::function<void()> on_connected;
+    std::function<void()> on_readable;
+    std::function<void()> on_writable;
+    std::function<void(CloseReason)> on_closed;
+  };
+
+  NeatSocket(sim::Process& app, StackReplica& replica, const StackCosts& costs,
+             net::TcpSocketPtr tcp);
+
+  /// Wire the TCP callbacks (requires shared ownership; call right after
+  /// make_shared).
+  void init();
+
+  NeatSocket(const NeatSocket&) = delete;
+  NeatSocket& operator=(const NeatSocket&) = delete;
+
+  // --- app side --------------------------------------------------------------
+  std::size_t write(std::span<const std::uint8_t> data);
+  std::size_t read(std::span<std::uint8_t> dst);
+  [[nodiscard]] std::size_t readable() const { return tcp_->readable(); }
+  [[nodiscard]] bool eof() const { return tcp_->eof(); }
+  [[nodiscard]] bool alive() const { return !failed_ && !closed_delivered_; }
+  void close();
+
+  void set_events(Events ev);
+
+  /// Replica died with this socket's state: deliver kStackFailure upward.
+  void fail();
+
+  /// Stateful recovery: swap in the restored TCP socket (same flow) and
+  /// rewire callbacks — the application never notices the crash.
+  void reattach(net::TcpSocketPtr tcp);
+
+  [[nodiscard]] StackReplica& replica() const { return replica_; }
+  [[nodiscard]] net::TcpSocket& tcp() const { return *tcp_; }
+
+ private:
+  enum EventBit : std::uint32_t {
+    kEvConnected = 1u << 0,
+    kEvReadable = 1u << 1,
+    kEvWritable = 1u << 2,
+    kEvClosed = 1u << 3,
+  };
+
+  void pump();                      // replica context
+  void raise(std::uint32_t bits);   // any context
+  void dispatch();                  // app context
+
+  sim::Process& app_;
+  StackReplica& replica_;
+  const StackCosts costs_;
+  net::TcpSocketPtr tcp_;
+  ipc::ByteRing tx_ring_;
+  ipc::Doorbell to_stack_;
+  ipc::Doorbell to_app_;
+  Events ev_;
+  std::uint32_t pending_events_{0};
+  CloseReason close_reason_{CloseReason::kNormal};
+  bool pump_scheduled_{false};
+  bool close_requested_{false};
+  bool closed_delivered_{false};
+  bool want_write_{false};
+  bool failed_{false};
+  // Set while draining remaining data after an app close() whose owner
+  // already dropped its reference.
+  std::shared_ptr<NeatSocket> self_keepalive_;
+};
+
+using NeatSocketPtr = std::shared_ptr<NeatSocket>;
+
+}  // namespace neat::socklib

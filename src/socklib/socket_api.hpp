@@ -1,0 +1,69 @@
+// The application-facing socket interface.
+//
+// NEaT "retains full compatibility with the BSD socket API" — applications
+// are written once against this interface and run unchanged on the NEaT
+// stack (socklib::SockLib) and on the Linux-baseline stack
+// (baseline::LinuxSockets). It is the event-driven, non-blocking flavour of
+// the BSD API (the apps in the paper — lighttpd, httperf — are themselves
+// event-driven).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "net/addr.hpp"
+
+namespace neat::socklib {
+
+using Fd = int;
+inline constexpr Fd kBadFd = -1;
+
+enum class CloseReason {
+  kNormal,
+  kReset,
+  kTimeout,
+  kRefused,
+  kStackFailure,  ///< the stack replica holding the socket crashed
+};
+
+[[nodiscard]] const char* to_string(CloseReason r);
+
+/// Per-connection event callbacks (edge-style notifications).
+struct ConnCallbacks {
+  std::function<void(Fd)> on_connected;
+  std::function<void(Fd)> on_readable;  ///< data or EOF became available
+  std::function<void(Fd)> on_writable;  ///< send space freed after a short write
+  std::function<void(Fd, CloseReason)> on_closed;
+};
+
+class SocketApi {
+ public:
+  virtual ~SocketApi() = default;
+
+  /// Open a listening socket. `on_acceptable` fires when accept() would
+  /// yield a connection. Returns kBadFd on failure.
+  virtual Fd listen(std::uint16_t port, std::size_t backlog,
+                    std::function<void()> on_acceptable) = 0;
+
+  /// Pop one established connection; kBadFd if none is ready.
+  virtual Fd accept(Fd listen_fd, ConnCallbacks cb) = 0;
+
+  /// Begin an active connect; completion via cb.on_connected / on_closed.
+  virtual Fd connect(net::SockAddr remote, ConnCallbacks cb) = 0;
+
+  /// Non-blocking write; returns bytes accepted.
+  virtual std::size_t send(Fd fd, std::span<const std::uint8_t> data) = 0;
+
+  /// Non-blocking read; returns bytes read (0: nothing available or EOF —
+  /// disambiguate with eof()).
+  virtual std::size_t recv(Fd fd, std::span<std::uint8_t> dst) = 0;
+
+  [[nodiscard]] virtual std::size_t readable(Fd fd) const = 0;
+  [[nodiscard]] virtual bool eof(Fd fd) const = 0;
+
+  /// Orderly close; the fd is released immediately.
+  virtual void close(Fd fd) = 0;
+};
+
+}  // namespace neat::socklib

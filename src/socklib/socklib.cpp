@@ -1,0 +1,216 @@
+#include "socklib/socklib.hpp"
+
+#include <algorithm>
+
+namespace neat::socklib {
+
+SockLib::SockLib(sim::Process& app, NeatHost& host)
+    : app_(app), host_(host), rng_(app.sim().rng().split(0x50c7)) {
+  host_.add_failure_listener(this);
+}
+
+SockLib::~SockLib() { host_.remove_failure_listener(this); }
+
+Fd SockLib::listen(std::uint16_t port, std::size_t backlog,
+                   std::function<void()> on_acceptable) {
+  const Fd fd = next_fd_++;
+  ListenEntry entry;
+  entry.port = port;
+  entry.accept_bell = std::make_shared<ipc::Doorbell>(
+      app_, host_.costs().app_notify, std::move(on_acceptable));
+  auto bell = entry.accept_bell;
+  listeners_.emplace(fd, std::move(entry));
+
+  // listen() is a (rare) control-plane call: route via the SYSCALL server,
+  // which records it durably and replicates the listening socket onto
+  // every replica (§3.3 — listening sockets are the only replicated kind).
+  NeatHost* host = &host_;
+  const StackCosts costs = host_.costs();
+  host_.syscall().submit([host, port, backlog, bell, costs] {
+    ListenRecord rec;
+    rec.port = port;
+    rec.backlog = backlog;
+    rec.wire = [bell](StackReplica&, net::TcpListener& l) {
+      l.set_accept_ready([bell] { bell->ring(); });
+    };
+    for (auto* r : host->serving_replicas()) {
+      StackReplica* rep = r;
+      rep->tcp_process().post(costs.replica_control, [rep, rec] {
+        net::TcpListener* l = rep->tcp().listen(rec.port, rec.backlog);
+        if (l == nullptr) l = rep->tcp().listener(rec.port);
+        if (l != nullptr) rec.wire(*rep, *l);
+      });
+    }
+    host->record_listen(std::move(rec));
+  });
+  return fd;
+}
+
+Fd SockLib::accept(Fd listen_fd, ConnCallbacks cb) {
+  auto it = listeners_.find(listen_fd);
+  if (it == listeners_.end()) return kBadFd;
+  ListenEntry& entry = it->second;
+
+  // Scan subsockets round-robin, starting after the last successful
+  // replica, so accept load spreads even when all queues are hot.
+  auto replicas = host_.serving_replicas();
+  if (replicas.empty()) return kBadFd;
+  const std::size_t n = replicas.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    StackReplica& rep = *replicas[(entry.rr_next + i) % n];
+    net::TcpListener* l = rep.tcp().listener(entry.port);
+    if (l == nullptr) continue;
+    if (net::TcpSocketPtr tcp = l->accept()) {
+      entry.rr_next = (entry.rr_next + i + 1) % n;
+      const Fd fd = next_fd_++;
+      wire_connection(fd, rep, std::move(tcp), std::move(cb),
+                      /*notify_connect=*/false);
+      return fd;
+    }
+  }
+  return kBadFd;
+}
+
+Fd SockLib::connect(net::SockAddr remote, ConnCallbacks cb) {
+  const Fd fd = next_fd_++;
+  NeatHost* host = &host_;
+  sim::Process* app = &app_;
+  SockLib* self = this;
+  const StackCosts costs = host_.costs();
+  const auto steering = host_.config().steering;
+  const std::uint64_t seed = rng_();
+
+  host_.syscall().submit([host, app, self, fd, remote, cb, costs, steering,
+                          seed]() mutable {
+    StackReplica* rep = host->pick_replica();
+    if (rep == nullptr) {
+      app->post(costs.app_notify, [cb, fd] {
+        if (cb.on_closed) cb.on_closed(fd, CloseReason::kStackFailure);
+      });
+      return;
+    }
+    rep->tcp_process().post(costs.replica_control, [host, self, fd, remote,
+                                                    cb, costs, steering, seed,
+                                                    rep]() mutable {
+      // Pick the local port. Under RSS steering the library chooses a port
+      // whose Toeplitz hash lands on this replica's queue, so the SYN|ACK
+      // comes straight back to us with zero NIC reconfiguration. Ports
+      // still occupied (e.g. a previous connection in TIME_WAIT) make
+      // connect() fail — retry with another candidate.
+      sim::Rng prng(seed);
+      const bool defer =
+          steering == NeatHost::Config::Steering::kExactFilter;
+      net::TcpSocketPtr tcp;
+      if (steering == NeatHost::Config::Steering::kRssPortSelection) {
+        for (int tries = 0; tries < 8192 && !tcp; ++tries) {
+          const auto cand =
+              static_cast<std::uint16_t>(49152 + prng.below(16384));
+          if (host->nic().rss_queue(remote.ip, remote.port, host->ip(),
+                                    cand) != rep->queue()) {
+            continue;
+          }
+          tcp = rep->tcp().connect(remote, cand, defer);
+        }
+      } else {
+        tcp = rep->tcp().connect(remote, 0, defer);
+      }
+      if (!tcp) {
+        self->app_.post(costs.app_notify, [cb, fd] {
+          if (cb.on_closed) cb.on_closed(fd, CloseReason::kRefused);
+        });
+        return;
+      }
+      self->wire_connection(fd, *rep, tcp, std::move(cb),
+                            /*notify_connect=*/true);
+      if (defer) {
+        // Install the exact-match filter first so the reply cannot race to
+        // the wrong replica, then fire the SYN from the replica's context.
+        const net::FlowKey key = tcp->flow();
+        host->driver().control([host, key, rep, tcp, costs] {
+          host->nic().add_flow_filter(key, rep->queue());
+          rep->tcp_process().post(costs.replica_control, [rep, tcp] {
+            rep->tcp().begin_handshake(*tcp);
+          });
+        });
+      }
+    });
+  });
+  return fd;
+}
+
+void SockLib::wire_connection(Fd fd, StackReplica& replica,
+                              net::TcpSocketPtr tcp, ConnCallbacks cb,
+                              bool notify_connect) {
+  auto sock =
+      std::make_shared<NeatSocket>(app_, replica, host_.costs(), std::move(tcp));
+  sock->init();
+  NeatSocket::Events ev;
+  if (notify_connect && cb.on_connected) {
+    ev.on_connected = [cb, fd] { cb.on_connected(fd); };
+  }
+  if (cb.on_readable) ev.on_readable = [cb, fd] { cb.on_readable(fd); };
+  if (cb.on_writable) ev.on_writable = [cb, fd] { cb.on_writable(fd); };
+  if (cb.on_closed) {
+    ev.on_closed = [cb, fd](CloseReason r) { cb.on_closed(fd, r); };
+  }
+  conns_.emplace(fd, sock);
+  sock->set_events(std::move(ev));
+}
+
+std::size_t SockLib::send(Fd fd, std::span<const std::uint8_t> data) {
+  auto it = conns_.find(fd);
+  return it == conns_.end() ? 0 : it->second->write(data);
+}
+
+std::size_t SockLib::recv(Fd fd, std::span<std::uint8_t> dst) {
+  auto it = conns_.find(fd);
+  return it == conns_.end() ? 0 : it->second->read(dst);
+}
+
+std::size_t SockLib::readable(Fd fd) const {
+  auto it = conns_.find(fd);
+  return it == conns_.end() ? 0 : it->second->readable();
+}
+
+bool SockLib::eof(Fd fd) const {
+  auto it = conns_.find(fd);
+  return it == conns_.end() ? true : it->second->eof();
+}
+
+void SockLib::close(Fd fd) {
+  if (auto it = conns_.find(fd); it != conns_.end()) {
+    it->second->set_events({});  // no callbacks after close()
+    it->second->close();
+    conns_.erase(it);
+    return;
+  }
+  if (auto it = listeners_.find(fd); it != listeners_.end()) {
+    host_.remove_listen(it->second.port);
+    listeners_.erase(it);
+  }
+}
+
+void SockLib::on_replica_tcp_recovery(
+    StackReplica& replica, const std::vector<net::TcpSocketPtr>& restored) {
+  // Connections the checkpoint brought back are transparently re-attached
+  // to their fds; the rest of this replica's sockets are gone. Every other
+  // replica is untouched (the whole point of state partitioning).
+  for (auto& [fd, sock] : conns_) {
+    if (&sock->replica() != &replica) continue;
+    const net::FlowKey flow = sock->tcp().flow();
+    net::TcpSocketPtr replacement;
+    for (const auto& r : restored) {
+      if (r->flow() == flow) {
+        replacement = r;
+        break;
+      }
+    }
+    if (replacement) {
+      sock->reattach(std::move(replacement));
+    } else {
+      sock->fail();
+    }
+  }
+}
+
+}  // namespace neat::socklib

@@ -1,0 +1,68 @@
+// SockLib: the NEaT user-space POSIX library (one instance per application
+// process).
+//
+// It hides replication completely: a listening fd is transparently backed
+// by one hidden "subsocket" per replica (created at listen() time, §3.3); a
+// connected fd maps to the single replica that owns the connection; data
+// moves over shared rings without touching the SYSCALL server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ipc/doorbell.hpp"
+#include "neat/host.hpp"
+#include "sim/random.hpp"
+#include "socklib/neat_socket.hpp"
+#include "socklib/socket_api.hpp"
+
+namespace neat::socklib {
+
+class SockLib final : public SocketApi, public ReplicaFailureListener {
+ public:
+  SockLib(sim::Process& app, NeatHost& host);
+  ~SockLib() override;
+
+  SockLib(const SockLib&) = delete;
+  SockLib& operator=(const SockLib&) = delete;
+
+  // SocketApi
+  Fd listen(std::uint16_t port, std::size_t backlog,
+            std::function<void()> on_acceptable) override;
+  Fd accept(Fd listen_fd, ConnCallbacks cb) override;
+  Fd connect(net::SockAddr remote, ConnCallbacks cb) override;
+  std::size_t send(Fd fd, std::span<const std::uint8_t> data) override;
+  std::size_t recv(Fd fd, std::span<std::uint8_t> dst) override;
+  [[nodiscard]] std::size_t readable(Fd fd) const override;
+  [[nodiscard]] bool eof(Fd fd) const override;
+  void close(Fd fd) override;
+
+  // ReplicaFailureListener
+  void on_replica_tcp_recovery(
+      StackReplica& replica,
+      const std::vector<net::TcpSocketPtr>& restored) override;
+
+  [[nodiscard]] NeatHost& host() { return host_; }
+  [[nodiscard]] std::size_t open_sockets() const { return conns_.size(); }
+
+ private:
+  struct ListenEntry {
+    std::uint16_t port{0};
+    std::shared_ptr<ipc::Doorbell> accept_bell;
+    std::size_t rr_next{0};  // round-robin start over replicas
+  };
+
+  void wire_connection(Fd fd, StackReplica& replica, net::TcpSocketPtr tcp,
+                       ConnCallbacks cb, bool notify_connect);
+
+  sim::Process& app_;
+  NeatHost& host_;
+  sim::Rng rng_;
+  Fd next_fd_{3};
+  std::unordered_map<Fd, ListenEntry> listeners_;
+  std::unordered_map<Fd, NeatSocketPtr> conns_;
+};
+
+}  // namespace neat::socklib

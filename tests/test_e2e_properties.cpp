@@ -1,0 +1,164 @@
+// End-to-end property tests for the DESIGN.md invariants: partitioning,
+// determinism, data integrity over the full simulated testbed, and
+// load-balancing of connection placement (which doubles as the §3.8
+// address-space re-randomization property).
+#include <gtest/gtest.h>
+
+#include "harness/testbed.hpp"
+
+namespace neat::harness {
+namespace {
+
+/// Invariant 1: every TCP connection lives in exactly one replica.
+class PartitioningProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PartitioningProperty, EachFlowLivesInExactlyOneReplica) {
+  Testbed::Config cfg;
+  cfg.seed = GetParam();
+  Testbed tb(cfg);
+  NeatServerOptions so;
+  so.replicas = 3;
+  so.webs = 3;
+  ServerRig server = build_neat_server(tb, so);
+  ClientOptions co;
+  co.generators = 3;
+  co.concurrency_per_gen = 16;
+  co.requests_per_conn = 20;
+  ClientRig client = build_client(tb, co, 3);
+  prepopulate_arp(server, client);
+  tb.sim.run_for(250 * sim::kMillisecond);
+
+  std::map<std::string, int> owners;
+  for (std::size_t r = 0; r < server.neat->replica_count(); ++r) {
+    server.neat->replica(r).tcp().for_each_connection(
+        [&](net::TcpSocket& s) { owners[s.flow().str()]++; });
+  }
+  ASSERT_GT(owners.size(), 10u);
+  for (const auto& [flow, count] : owners) {
+    EXPECT_EQ(count, 1) << flow << " exists in multiple replicas";
+  }
+
+  // And the RSS steering agrees with the owner for every live flow — i.e.
+  // all of a connection's packets reach the replica that owns it.
+  for (std::size_t r = 0; r < server.neat->replica_count(); ++r) {
+    server.neat->replica(r).tcp().for_each_connection(
+        [&](net::TcpSocket& s) {
+          if (s.state() != net::TcpState::kEstablished) return;
+          EXPECT_EQ(tb.server_nic.classify(*[&] {
+                      // Recreate the inbound frame header for this flow.
+                      auto pkt = net::Packet::make(0);
+                      net::TcpHeader th;
+                      th.src_port = s.flow().remote_port;
+                      th.dst_port = s.flow().local_port;
+                      th.ack_flag = true;
+                      th.encode(*pkt, s.flow().remote_ip,
+                                s.flow().local_ip);
+                      net::Ipv4Header ih;
+                      ih.src = s.flow().remote_ip;
+                      ih.dst = s.flow().local_ip;
+                      ih.encode(*pkt);
+                      net::EthernetHeader eh;
+                      eh.src = net::MacAddr::local(2);
+                      eh.dst = net::MacAddr::local(1);
+                      eh.encode(*pkt);
+                      return pkt;
+                    }()),
+                    server.neat->replica(r).queue())
+              << "packets of " << s.flow().str()
+              << " would be steered away from their replica";
+        });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitioningProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+/// Invariant 7: identical seeds give bit-identical runs.
+TEST(Determinism, SameSeedSameResults) {
+  auto run_once = [](std::uint64_t seed) {
+    Testbed::Config cfg;
+    cfg.seed = seed;
+    Testbed tb(cfg);
+    NeatServerOptions so;
+    so.replicas = 2;
+    so.webs = 2;
+    ServerRig server = build_neat_server(tb, so);
+    ClientOptions co;
+    co.generators = 2;
+    co.concurrency_per_gen = 8;
+    ClientRig client = build_client(tb, co, 2);
+    prepopulate_arp(server, client);
+    const auto r = run_window(tb, client, 100 * sim::kMillisecond,
+                              200 * sim::kMillisecond);
+    return std::tuple{r.requests, server.total_requests(),
+                      server.neat->replica(0).tcp().stats().segments_in,
+                      tb.server_nic.stats().rx_frames};
+  };
+  EXPECT_EQ(run_once(1234), run_once(1234));
+  EXPECT_NE(std::get<0>(run_once(1234)), std::get<0>(run_once(9999)));
+}
+
+/// §3.8: connection placement across replicas is balanced (each new
+/// connection picks an unpredictable replica -> re-randomization).
+TEST(LoadBalance, ConnectionsSpreadEvenlyAcrossReplicas) {
+  Testbed::Config cfg;
+  cfg.seed = 77;
+  Testbed tb(cfg);
+  NeatServerOptions so;
+  so.replicas = 4;
+  so.webs = 4;
+  ServerRig server = build_neat_server(tb, so);
+  ClientOptions co;
+  co.generators = 4;
+  co.concurrency_per_gen = 16;
+  co.requests_per_conn = 10;
+  ClientRig client = build_client(tb, co, 4);
+  prepopulate_arp(server, client);
+  tb.sim.run_for(400 * sim::kMillisecond);
+
+  std::uint64_t total = 0;
+  std::uint64_t min_acc = ~0ull, max_acc = 0;
+  for (std::size_t r = 0; r < 4; ++r) {
+    const auto acc = server.neat->replica(r).tcp().stats().conns_accepted;
+    total += acc;
+    min_acc = std::min(min_acc, acc);
+    max_acc = std::max(max_acc, acc);
+  }
+  ASSERT_GT(total, 400u);
+  // Toeplitz over random ports: no replica may get more than ~2x its share.
+  EXPECT_LT(max_acc, 2 * total / 4);
+  EXPECT_GT(min_acc, total / 12);
+}
+
+/// The full path preserves payload integrity: checksummed end to end.
+TEST(EndToEnd, NoCorruptRepliesUnderLinkCorruption) {
+  Testbed::Config cfg;
+  cfg.seed = 88;
+  cfg.link.corrupt_probability = 0.003;
+  Testbed tb(cfg);
+  NeatServerOptions so;
+  so.replicas = 2;
+  so.webs = 2;
+  ServerRig server = build_neat_server(tb, so);
+  ClientOptions co;
+  co.generators = 2;
+  co.concurrency_per_gen = 8;
+  ClientRig client = build_client(tb, co, 2);
+  prepopulate_arp(server, client);
+  const auto r = run_window(tb, client, 150 * sim::kMillisecond,
+                            400 * sim::kMillisecond);
+  EXPECT_GT(r.requests, 500u) << "retransmission hides the corruption";
+  std::uint64_t bad = 0, drops = 0;
+  for (auto& g : client.gens) bad += g->report().bad_status;
+  EXPECT_EQ(bad, 0u) << "no corrupted payload may reach the application";
+  for (std::size_t i = 0; i < 2; ++i) {
+    drops += server.neat->replica(i).tcp().stats().checksum_drops;
+  }
+  drops += client.host->replica(0).tcp().stats().checksum_drops;
+  EXPECT_GT(drops + tb.link.frames_corrupted(), 0u)
+      << "the test must actually have corrupted frames";
+}
+
+}  // namespace
+}  // namespace neat::harness

@@ -1,0 +1,241 @@
+// Tests for the paper's extension features implemented beyond the core:
+// checkpoint-based stateful recovery (§6.6 discussion), automatic replica
+// scaling (§3.4), and the ASLR re-randomization property (§3.8).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/testbed.hpp"
+#include "neat/autoscaler.hpp"
+
+namespace neat::harness {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Checkpoint-based stateful recovery
+// ---------------------------------------------------------------------------
+
+struct CheckpointFixture : public ::testing::Test {
+  void build(sim::SimTime interval, int replicas = 2, int webs = 2) {
+    Testbed::Config cfg;
+    cfg.seed = 404;
+    tb = std::make_unique<Testbed>(cfg);
+    NeatServerOptions so;
+    so.replicas = replicas;
+    so.webs = webs;
+    so.host.checkpoint_interval = interval;
+    server = std::make_unique<ServerRig>(build_neat_server(*tb, so));
+    ClientOptions co;
+    co.generators = webs;
+    co.concurrency_per_gen = 16;
+    co.requests_per_conn = 1000;  // long-lived connections
+    client = std::make_unique<ClientRig>(build_client(*tb, co, webs));
+    prepopulate_arp(*server, *client);
+    tb->sim.run_for(100 * sim::kMillisecond);
+  }
+
+  std::uint64_t client_errors() {
+    std::uint64_t n = 0;
+    for (auto& g : client->gens) n += g->report().error_conns;
+    return n;
+  }
+
+  std::unique_ptr<Testbed> tb;
+  std::unique_ptr<ServerRig> server;
+  std::unique_ptr<ClientRig> client;
+};
+
+TEST_F(CheckpointFixture, SnapshotCapturesEstablishedConnections) {
+  build(0);
+  auto& tcp = server->neat->replica(0).tcp();
+  const auto cp = tcp.snapshot();
+  EXPECT_EQ(cp.conns.size(), tcp.active_connection_count());
+  EXPECT_GT(cp.bytes(), 0u);
+  for (const auto& c : cp.conns) {
+    EXPECT_NE(c.flow.remote_ip, net::Ipv4Addr::any());
+  }
+}
+
+TEST_F(CheckpointFixture, StatefulRecoveryRestoresConnections) {
+  build(20 * sim::kMillisecond);
+  tb->sim.run_for(100 * sim::kMillisecond);  // several checkpoints taken
+
+  StackReplica& victim = server->neat->replica(0);
+  const auto conns_before = victim.tcp().active_connection_count();
+  ASSERT_GT(conns_before, 0u);
+  const auto errors_before = client_errors();
+
+  server->neat->inject_crash(victim, Component::kWhole);
+  tb->sim.run_for(400 * sim::kMillisecond);
+
+  const auto& ev = server->neat->recovery_log().back();
+  EXPECT_GT(ev.connections_restored, 0u)
+      << "the checkpoint must bring connections back";
+  // Most connections survive: with a 20ms checkpoint interval and
+  // request/response traffic, few connections diverge irrecoverably.
+  EXPECT_LT(client_errors() - errors_before, conns_before)
+      << "stateful recovery must save at least some connections";
+  // And traffic keeps flowing on the restored replica.
+  const auto acc = victim.tcp().stats().conns_accepted;
+  tb->sim.run_for(100 * sim::kMillisecond);
+  EXPECT_GE(victim.tcp().stats().conns_accepted, acc);
+}
+
+TEST_F(CheckpointFixture, StatelessRecoveryLosesAllByComparison) {
+  build(0);  // checkpointing off: the paper's default
+  tb->sim.run_for(100 * sim::kMillisecond);
+  StackReplica& victim = server->neat->replica(0);
+  const auto conns_before = victim.tcp().active_connection_count();
+  ASSERT_GT(conns_before, 0u);
+  const auto errors_before = client_errors();
+  server->neat->inject_crash(victim, Component::kWhole);
+  tb->sim.run_for(300 * sim::kMillisecond);
+  EXPECT_EQ(server->neat->recovery_log().back().connections_restored, 0u);
+  EXPECT_GE(client_errors() - errors_before, conns_before)
+      << "every connection of the failed replica must error out";
+}
+
+TEST_F(CheckpointFixture, CheckpointingCostsThroughput) {
+  // The §6.6 trade-off: checkpointing "incurs nontrivial run-time
+  // overhead, trading off performance for reliability". The cost shows at
+  // the stack's saturation point: one replica, enough webs to overload it.
+  auto measure = [&](sim::SimTime interval) {
+    build(interval, /*replicas=*/1, /*webs=*/4);
+    for (auto& g : client->gens) g->mark();
+    tb->sim.run_for(300 * sim::kMillisecond);
+    std::uint64_t reqs = 0;
+    for (auto& g : client->gens) reqs += g->report().committed_requests;
+    return reqs;
+  };
+  const auto without = measure(0);
+  const auto with = measure(300 * sim::kMicrosecond);  // aggressive interval
+  EXPECT_LT(static_cast<double>(with), static_cast<double>(without) * 0.995)
+      << "checkpointing must not be free at the saturation point";
+}
+
+// ---------------------------------------------------------------------------
+// AutoScaler
+// ---------------------------------------------------------------------------
+
+TEST(AutoScaler, ScalesUpUnderLoadAndDownWhenIdle) {
+  Testbed::Config cfg;
+  cfg.seed = 606;
+  cfg.server_nic.tracking_filters = true;  // safe scale-down
+  Testbed tb(cfg);
+  NeatServerOptions so;
+  so.replicas = 1;
+  so.webs = 4;
+  ServerRig server = build_neat_server(tb, so);
+
+  AutoScaler::Policy policy;
+  policy.scale_up_threshold = 0.80;
+  policy.scale_down_threshold = 0.20;
+  AutoScaler scaler(*server.neat,
+                    {{&tb.server_machine.thread(5)},
+                     {&tb.server_machine.thread(4)}},
+                    policy);
+  scaler.start();
+
+  ClientOptions co;
+  co.generators = 4;
+  co.concurrency_per_gen = 32;  // enough to saturate one replica
+  ClientRig client = build_client(tb, co, 4);
+  prepopulate_arp(server, client);
+
+  tb.sim.run_for(600 * sim::kMillisecond);
+  EXPECT_GT(scaler.scale_ups(), 0u) << "overload must trigger a spawn";
+  EXPECT_GT(server.neat->replica_count(), 1u);
+  const auto ups = scaler.scale_ups();
+
+  // Load vanishes: generators stop opening connections.
+  for (auto& g : client.gens) g->config().max_conns = 1;
+  tb.sim.run_for(1500 * sim::kMillisecond);
+  EXPECT_GT(scaler.scale_downs(), 0u)
+      << "an idle stack must lazily terminate replicas";
+  EXPECT_EQ(scaler.scale_ups(), ups) << "no flapping back up while idle";
+}
+
+// ---------------------------------------------------------------------------
+// Programmable-NIC offload (§4)
+// ---------------------------------------------------------------------------
+
+TEST(SmartNic, OffloadServesTrafficWithoutDriverCycles) {
+  Testbed::Config cfg;
+  cfg.seed = 909;
+  Testbed tb(cfg);
+  NeatServerOptions so;
+  so.replicas = 2;
+  so.webs = 2;
+  so.host.smartnic_offload = true;
+  ServerRig server = build_neat_server(tb, so);
+  ClientOptions co;
+  co.generators = 2;
+  co.concurrency_per_gen = 8;
+  ClientRig client = build_client(tb, co, 2);
+  prepopulate_arp(server, client);
+  const auto r = run_window(tb, client, 100 * sim::kMillisecond,
+                            200 * sim::kMillisecond);
+  EXPECT_GT(r.requests, 1000u);
+  EXPECT_EQ(r.error_conns, 0u);
+  // The data plane ran in hardware: the driver process burned (almost) no
+  // cycles despite forwarding every packet.
+  EXPECT_GT(server.neat->driver().driver_stats().rx_forwarded, 10000u);
+  EXPECT_LT(server.neat->driver().stats().processing, 100000u);
+}
+
+// ---------------------------------------------------------------------------
+// ASLR re-randomization (§3.8)
+// ---------------------------------------------------------------------------
+
+TEST(Security, ReplicasHaveDistinctLayoutsRerandomizedOnRestart) {
+  Testbed::Config cfg;
+  cfg.seed = 707;
+  Testbed tb(cfg);
+  NeatServerOptions so;
+  so.replicas = 3;
+  so.webs = 1;
+  ServerRig server = build_neat_server(tb, so);
+
+  std::set<std::uint64_t> layouts;
+  for (std::size_t r = 0; r < 3; ++r) {
+    layouts.insert(server.neat->replica(r).aslr_layout());
+  }
+  EXPECT_EQ(layouts.size(), 3u)
+      << "semantically equivalent replicas must have different layouts";
+
+  // A restart draws a fresh layout: the attacker's knowledge expires.
+  const auto before = server.neat->replica(0).aslr_layout();
+  server.neat->inject_crash(server.neat->replica(0), Component::kWhole);
+  tb.sim.run_for(100 * sim::kMillisecond);
+  EXPECT_NE(server.neat->replica(0).aslr_layout(), before);
+}
+
+TEST(Security, ConsecutiveConnectionsSeeUnpredictableLayouts) {
+  Testbed::Config cfg;
+  cfg.seed = 708;
+  Testbed tb(cfg);
+  NeatServerOptions so;
+  so.replicas = 4;
+  so.webs = 2;
+  ServerRig server = build_neat_server(tb, so);
+  ClientOptions co;
+  co.generators = 2;
+  co.concurrency_per_gen = 8;
+  co.requests_per_conn = 2;  // high connection churn
+  ClientRig client = build_client(tb, co, 2);
+  prepopulate_arp(server, client);
+  tb.sim.run_for(300 * sim::kMillisecond);
+
+  // Across the run, connections landed on many replicas => many layouts.
+  std::set<std::uint64_t> layouts_seen;
+  for (std::size_t r = 0; r < 4; ++r) {
+    if (server.neat->replica(r).tcp().stats().conns_accepted > 0) {
+      layouts_seen.insert(server.neat->replica(r).aslr_layout());
+    }
+  }
+  EXPECT_GE(layouts_seen.size(), 3u)
+      << "an attacker probing across connections faces shifting layouts";
+}
+
+}  // namespace
+}  // namespace neat::harness

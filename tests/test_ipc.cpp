@@ -1,0 +1,250 @@
+// Unit and property tests for the IPC substrate: byte rings, channels,
+// doorbells.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "ipc/byte_ring.hpp"
+#include "ipc/channel.hpp"
+#include "ipc/doorbell.hpp"
+#include "sim/machine.hpp"
+#include "sim/process.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace neat::ipc {
+namespace {
+
+class TestProc : public sim::Process {
+ public:
+  using sim::Process::Process;
+};
+
+struct SimFixture : public ::testing::Test {
+  SimFixture() : machine(sim.add_machine(fast_params())), proc(sim, "c") {
+    proc.pin(machine.thread(0));
+  }
+  static sim::MachineParams fast_params() {
+    sim::MachineParams p;
+    p.cores = 2;
+    p.freq = sim::Frequency{1.0};
+    return p;
+  }
+  sim::Simulator sim;
+  sim::Machine& machine;
+  TestProc proc;
+};
+
+// ---------------------------------------------------------------------------
+// ByteRing
+// ---------------------------------------------------------------------------
+
+TEST(ByteRing, BasicWriteRead) {
+  ByteRing r(16);
+  const std::uint8_t in[] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(r.write(in), 5u);
+  EXPECT_EQ(r.readable(), 5u);
+  EXPECT_EQ(r.writable(), 11u);
+  std::uint8_t out[5] = {};
+  EXPECT_EQ(r.read(out), 5u);
+  EXPECT_TRUE(std::equal(std::begin(in), std::end(in), std::begin(out)));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteRing, WriteBoundedByCapacity) {
+  ByteRing r(4);
+  std::uint8_t in[10] = {};
+  EXPECT_EQ(r.write(in), 4u);
+  EXPECT_TRUE(r.full());
+  EXPECT_EQ(r.write(in), 0u);
+}
+
+TEST(ByteRing, PeekDoesNotConsume) {
+  ByteRing r(8);
+  const std::uint8_t in[] = {9, 8, 7};
+  r.write(in);
+  std::uint8_t out[3] = {};
+  EXPECT_EQ(r.peek(out), 3u);
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(r.readable(), 3u);
+}
+
+TEST(ByteRing, PeekAtOffset) {
+  ByteRing r(8);
+  const std::uint8_t in[] = {10, 11, 12, 13};
+  r.write(in);
+  std::uint8_t out[2] = {};
+  EXPECT_EQ(r.peek_at(2, out), 2u);
+  EXPECT_EQ(out[0], 12);
+  EXPECT_EQ(out[1], 13);
+  EXPECT_EQ(r.peek_at(4, out), 0u);  // past end
+}
+
+TEST(ByteRing, DiscardSkipsBytes) {
+  ByteRing r(8);
+  const std::uint8_t in[] = {1, 2, 3, 4};
+  r.write(in);
+  EXPECT_EQ(r.discard(2), 2u);
+  std::uint8_t out[2] = {};
+  r.read(out);
+  EXPECT_EQ(out[0], 3);
+}
+
+TEST(ByteRing, LazyAllocationAndRelease) {
+  ByteRing r(1 << 20);
+  EXPECT_EQ(r.readable(), 0u);
+  EXPECT_EQ(r.writable(), 1u << 20);  // capacity visible pre-allocation
+  std::uint8_t b = 1;
+  r.write({&b, 1});
+  r.release();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.writable(), 1u << 20);
+  // Usable again after release.
+  r.write({&b, 1});
+  EXPECT_EQ(r.readable(), 1u);
+}
+
+TEST(ByteRing, OperationsOnUnallocatedRingAreSafe) {
+  ByteRing r(64);
+  std::uint8_t out[4];
+  EXPECT_EQ(r.read(out), 0u);
+  EXPECT_EQ(r.peek(out), 0u);
+  EXPECT_EQ(r.peek_at(0, out), 0u);
+  EXPECT_EQ(r.discard(10), 0u);
+}
+
+/// Property: arbitrary interleavings of writes and reads deliver exactly
+/// the written byte stream, in order.
+class ByteRingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ByteRingProperty, StreamIntegrityUnderRandomChunking) {
+  sim::Rng rng(GetParam());
+  ByteRing ring(1 + rng.below(257));
+  std::vector<std::uint8_t> sent, received;
+  std::uint8_t next = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.chance(0.5)) {
+      std::vector<std::uint8_t> chunk(1 + rng.below(64));
+      for (auto& c : chunk) c = next++;
+      const std::size_t n = ring.write(chunk);
+      sent.insert(sent.end(), chunk.begin(), chunk.begin() + static_cast<long>(n));
+      next = static_cast<std::uint8_t>(chunk[0] + n);  // rewind unwritten
+    } else {
+      std::vector<std::uint8_t> buf(1 + rng.below(64));
+      const std::size_t n = ring.read(buf);
+      received.insert(received.end(), buf.begin(),
+                      buf.begin() + static_cast<long>(n));
+    }
+  }
+  std::vector<std::uint8_t> drain(ring.readable());
+  ring.read(drain);
+  received.insert(received.end(), drain.begin(), drain.end());
+  ASSERT_EQ(sent, received);
+  EXPECT_EQ(ring.total_in(), sent.size());
+  EXPECT_EQ(ring.total_out(), received.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteRingProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Channel
+// ---------------------------------------------------------------------------
+
+TEST_F(SimFixture, ChannelDeliversInOrderWithCost) {
+  std::vector<int> got;
+  Channel<int> ch(proc, 16, kDefaultChannelLatency, 100,
+                  [&](int&& v) { got.push_back(v); });
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ch.send(i));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(ch.stats().delivered, 5u);
+  EXPECT_GE(proc.stats().processing, 500u);
+}
+
+TEST_F(SimFixture, ChannelDropsWhenFull) {
+  std::vector<int> got;
+  Channel<int> ch(proc, 3, kDefaultChannelLatency, 100,
+                  [&](int&& v) { got.push_back(v); });
+  int sent = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (ch.send(i)) ++sent;
+  }
+  EXPECT_EQ(sent, 3);
+  EXPECT_EQ(ch.stats().dropped_full, 7u);
+  sim.run();
+  EXPECT_EQ(got.size(), 3u);
+  // Capacity frees up after consumption.
+  EXPECT_TRUE(ch.send(99));
+  sim.run();
+  EXPECT_EQ(got.back(), 99);
+}
+
+TEST_F(SimFixture, ChannelToCrashedConsumerDropsAndRecovers) {
+  int got = 0;
+  Channel<int> ch(proc, 4, kDefaultChannelLatency, 10,
+                  [&](int&&) { ++got; });
+  proc.crash();
+  EXPECT_FALSE(ch.send(1));
+  EXPECT_EQ(ch.stats().dropped_dead, 1u);
+  proc.restart();
+  ch.rebind(proc);
+  EXPECT_TRUE(ch.send(2));
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(SimFixture, ChannelMessageCostMayDependOnPayload) {
+  Channel<std::vector<int>> ch(
+      proc, 8, kDefaultChannelLatency,
+      [](const std::vector<int>& v) {
+        return static_cast<sim::Cycles>(v.size() * 10);
+      },
+      [](std::vector<int>&&) {});
+  ch.send(std::vector<int>(100));
+  sim.run();
+  EXPECT_EQ(proc.stats().processing, 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Doorbell
+// ---------------------------------------------------------------------------
+
+TEST_F(SimFixture, DoorbellCoalescesRings) {
+  int handled = 0;
+  Doorbell bell(proc, 50, [&] { ++handled; });
+  bell.ring();
+  bell.ring();
+  bell.ring();
+  sim.run();
+  EXPECT_EQ(handled, 1);
+  EXPECT_EQ(bell.rings(), 3u);
+  EXPECT_EQ(bell.deliveries(), 1u);
+  // After consumption, a new ring delivers again.
+  bell.ring();
+  sim.run();
+  EXPECT_EQ(handled, 2);
+}
+
+TEST_F(SimFixture, DoorbellToCrashedConsumerIsNoop) {
+  int handled = 0;
+  Doorbell bell(proc, 50, [&] { ++handled; });
+  proc.crash();
+  bell.ring();
+  sim.run();
+  EXPECT_EQ(handled, 0);
+}
+
+TEST_F(SimFixture, DestroyedDoorbellNeverFires) {
+  int handled = 0;
+  {
+    Doorbell bell(proc, 50, [&] { ++handled; });
+    bell.ring();
+  }  // destroyed with the ring still in flight
+  sim.run();
+  EXPECT_EQ(handled, 0);
+}
+
+}  // namespace
+}  // namespace neat::ipc

@@ -1,0 +1,147 @@
+// Scaling tests (paper §3.4): spawning replicas under load, NIC steering
+// updates, and lazy termination (scale-down without breaking connections).
+#include <gtest/gtest.h>
+
+#include "harness/testbed.hpp"
+
+namespace neat::harness {
+namespace {
+
+struct ScalingFixture : public ::testing::Test {
+  void build(bool tracking_filters, int replicas = 1) {
+    Testbed::Config cfg;
+    cfg.seed = 555;
+    cfg.server_nic.tracking_filters = tracking_filters;
+    tb = std::make_unique<Testbed>(cfg);
+    NeatServerOptions so;
+    so.replicas = replicas;
+    so.webs = 2;
+    server = std::make_unique<ServerRig>(build_neat_server(*tb, so));
+    ClientOptions co;
+    co.generators = 2;
+    co.concurrency_per_gen = 16;
+    co.requests_per_conn = 50;
+    client = std::make_unique<ClientRig>(build_client(*tb, co, 2));
+    prepopulate_arp(*server, *client);
+  }
+
+  std::uint64_t client_errors() {
+    std::uint64_t n = 0;
+    for (auto& g : client->gens) n += g->report().error_conns;
+    return n;
+  }
+
+  std::unique_ptr<Testbed> tb;
+  std::unique_ptr<ServerRig> server;
+  std::unique_ptr<ClientRig> client;
+};
+
+TEST_F(ScalingFixture, ScaleUpSpreadsNewConnections) {
+  build(/*tracking_filters=*/true, /*replicas=*/1);
+  tb->sim.run_for(100 * sim::kMillisecond);
+  ASSERT_GT(server->neat->replica(0).tcp().stats().conns_accepted, 0u);
+
+  // Overload detected: spawn a second replica on a free core.
+  StackReplica& r2 =
+      server->neat->add_replica({&tb->server_machine.thread(4)});
+  EXPECT_EQ(server->neat->replica_count(), 2u);
+  tb->sim.run_for(300 * sim::kMillisecond);
+
+  // The new replica serves a share of the *new* connections (subsocket
+  // replication put the listeners there automatically).
+  EXPECT_GT(r2.tcp().stats().conns_accepted, 0u);
+  EXPECT_EQ(client_errors(), 0u);
+}
+
+TEST_F(ScalingFixture, ExistingConnectionsStayPutAcrossScaleUp) {
+  build(true, 1);
+  tb->sim.run_for(100 * sim::kMillisecond);
+
+  // Snapshot flows owned by replica 0.
+  std::vector<net::FlowKey> flows;
+  server->neat->replica(0).tcp().for_each_connection(
+      [&](net::TcpSocket& s) {
+        if (s.state() == net::TcpState::kEstablished) {
+          flows.push_back(s.flow());
+        }
+      });
+  ASSERT_GT(flows.size(), 0u);
+
+  server->neat->add_replica({&tb->server_machine.thread(4)});
+  tb->sim.run_for(200 * sim::kMillisecond);
+
+  // Partitioning invariant: a connection lives in exactly one replica for
+  // its whole life. None of replica 0's established flows may have moved.
+  for (const auto& f : flows) {
+    bool still_in_r0 = false;
+    server->neat->replica(0).tcp().for_each_connection(
+        [&](net::TcpSocket& s) {
+          if (s.flow() == f) still_in_r0 = true;
+        });
+    bool leaked_to_r1 = false;
+    server->neat->replica(1).tcp().for_each_connection(
+        [&](net::TcpSocket& s) {
+          if (s.flow() == f) leaked_to_r1 = true;
+        });
+    EXPECT_FALSE(leaked_to_r1) << f.str();
+    (void)still_in_r0;  // it may have finished normally in the meantime
+  }
+}
+
+TEST_F(ScalingFixture, LazyTerminationNeverBreaksConnections) {
+  build(true, 2);
+  tb->sim.run_for(150 * sim::kMillisecond);
+  StackReplica& victim = server->neat->replica(1);
+  ASSERT_GT(victim.tcp().active_connection_count(), 0u);
+
+  const auto errors_before = client_errors();
+  server->neat->begin_scale_down(victim);
+  EXPECT_TRUE(victim.terminating);
+
+  // Run until the replica drains and is collected.
+  sim::SimTime waited = 0;
+  while (!victim.terminated && waited < 5 * sim::kSecond) {
+    tb->sim.run_for(50 * sim::kMillisecond);
+    waited += 50 * sim::kMillisecond;
+  }
+  EXPECT_TRUE(victim.terminated)
+      << "terminating replica must drain to zero and be collected";
+  EXPECT_EQ(client_errors(), errors_before)
+      << "lazy termination must not abort any connection";
+
+  // All load now flows through the surviving replica.
+  const auto acc_before = server->neat->replica(0).tcp().stats().conns_accepted;
+  tb->sim.run_for(100 * sim::kMillisecond);
+  EXPECT_GT(server->neat->replica(0).tcp().stats().conns_accepted,
+            acc_before);
+}
+
+TEST_F(ScalingFixture, AbruptShutdownWithoutTrackingBreaksConnections) {
+  // The ablation the paper argues for: without per-flow tracking filters,
+  // re-steering moves live flows to the wrong replica and they die.
+  build(/*tracking_filters=*/false, 2);
+  tb->sim.run_for(150 * sim::kMillisecond);
+  StackReplica& victim = server->neat->replica(1);
+  ASSERT_GT(victim.tcp().active_connection_count(), 0u);
+
+  const auto errors_before = client_errors();
+  // Re-steer new traffic away; with plain RSS this moves *existing* flows
+  // too, so their packets land at a replica that answers with RST.
+  server->neat->begin_scale_down(victim);
+  tb->sim.run_for(500 * sim::kMillisecond);
+  EXPECT_GT(client_errors(), errors_before)
+      << "without tracking filters, re-steering kills live connections";
+}
+
+TEST_F(ScalingFixture, SteeringUsesOnlyActiveReplicaQueues) {
+  build(true, 2);
+  tb->sim.run_for(50 * sim::kMillisecond);
+  server->neat->begin_scale_down(server->neat->replica(0));
+  tb->sim.run_for(10 * sim::kMillisecond);  // control op reaches the NIC
+  for (int bucket : tb->server_nic.indirection()) {
+    EXPECT_EQ(bucket, server->neat->replica(1).queue());
+  }
+}
+
+}  // namespace
+}  // namespace neat::harness

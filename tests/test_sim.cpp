@@ -1,0 +1,446 @@
+// Unit tests for the discrete-event simulator substrate: event queue,
+// deterministic RNG, machines, hardware threads and the process model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/process.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace neat::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTimestampFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelledEventDoesNotFire) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  q.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  int fires = 0;
+  auto h = q.schedule_at(10, [&] { ++fires; });
+  q.run();
+  EXPECT_EQ(fires, 1);
+  h.cancel();  // after fire: no-op
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) q.schedule(10, step);
+  };
+  q.schedule(10, step);
+  q.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  for (SimTime t = 10; t <= 100; t += 10) {
+    q.schedule_at(t, [&] { ++fired; });
+  }
+  q.run_until(50);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), 50u);
+  q.run_until(100);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, PastTimesClampToNow) {
+  EventQueue q;
+  q.schedule_at(100, [] {});
+  q.run();
+  bool fired = false;
+  q.schedule_at(50, [&] { fired = true; });  // in the past
+  q.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(q.now(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 20}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[r.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  Rng a(42);
+  Rng s1 = a.split(1);
+  Rng s2 = a.split(2);
+  Rng s1b = Rng(42).split(1);
+  EXPECT_EQ(s1(), s1b());
+  EXPECT_NE(s1(), s2());
+}
+
+// ---------------------------------------------------------------------------
+// Frequency
+// ---------------------------------------------------------------------------
+
+TEST(Frequency, DurationRoundsUpNonZeroWork) {
+  Frequency f{2.0};
+  EXPECT_EQ(f.duration(0), 0u);
+  EXPECT_EQ(f.duration(1), 1u);  // 0.5ns rounds to at least 1
+  EXPECT_EQ(f.duration(2000), 1000u);
+}
+
+TEST(Frequency, SpeedFactorScalesDuration) {
+  Frequency f{1.0};
+  EXPECT_EQ(f.duration(1000), 1000u);
+  EXPECT_EQ(f.duration(1000, 0.5), 2000u);
+}
+
+// ---------------------------------------------------------------------------
+// Process execution model
+// ---------------------------------------------------------------------------
+
+class TestProc : public Process {
+ public:
+  using Process::Process;
+};
+
+TEST(ProcessModel, WorkTakesTime) {
+  Simulator sim;
+  MachineParams mp;
+  mp.cores = 1;
+  mp.freq = Frequency{1.0};  // 1 cycle == 1 ns
+  Machine& m = sim.add_machine(mp);
+  TestProc p(sim, "p");
+  p.pin(m.thread(0));
+
+  SimTime done_at = 0;
+  p.post(1000, [&] { done_at = sim.now(); });
+  sim.run();
+  // wake latency + resume overhead + 1000 cycles of work
+  EXPECT_EQ(done_at, mp.wake_fast_latency + mp.resume_cycles + 1000);
+  EXPECT_EQ(p.stats().processing, 1000u);
+  EXPECT_EQ(p.stats().wakeups, 1u);
+}
+
+TEST(ProcessModel, JobsSerializeFifoPerThread) {
+  Simulator sim;
+  MachineParams mp;
+  mp.cores = 1;
+  mp.freq = Frequency{1.0};
+  Machine& m = sim.add_machine(mp);
+  TestProc p(sim, "p");
+  p.pin(m.thread(0));
+
+  std::vector<int> order;
+  std::vector<SimTime> times;
+  for (int i = 0; i < 3; ++i) {
+    p.post(100, [&, i] {
+      order.push_back(i);
+      times.push_back(sim.now());
+    });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  // Each 100-cycle job adds 100 ns, strictly serialized.
+  EXPECT_EQ(times[1] - times[0], 100u);
+  EXPECT_EQ(times[2] - times[1], 100u);
+}
+
+TEST(ProcessModel, TwoProcessesShareOneThreadSerially) {
+  Simulator sim;
+  MachineParams mp;
+  mp.cores = 1;
+  mp.freq = Frequency{1.0};
+  Machine& m = sim.add_machine(mp);
+  TestProc a(sim, "a"), b(sim, "b");
+  a.pin(m.thread(0));
+  b.pin(m.thread(0));
+
+  SimTime a_done = 0, b_done = 0;
+  a.post(1000, [&] { a_done = sim.now(); });
+  b.post(1000, [&] { b_done = sim.now(); });
+  sim.run();
+  // b starts only after a finishes.
+  EXPECT_GE(b_done, a_done + 1000);
+}
+
+TEST(ProcessModel, HyperthreadSiblingsSlowEachOther) {
+  Simulator sim;
+  MachineParams mp;
+  mp.cores = 1;
+  mp.threads_per_core = 2;
+  mp.freq = Frequency{1.0};
+  mp.ht_shared_speed = 0.5;
+  Machine& m = sim.add_machine(mp);
+  TestProc a(sim, "a"), b(sim, "b");
+  a.pin(m.thread(0, 0));
+  b.pin(m.thread(0, 1));
+
+  // Start a long job on thread 0 first; thread 1's job then begins while
+  // its sibling is busy and runs at half speed.
+  SimTime b_start = 0, b_done = 0;
+  a.post(100000, [] {});
+  sim.run_until(mp.wake_fast_latency + 1);  // a's job is now executing
+  b.post(1000, [&] { b_done = sim.now(); });
+  b_start = sim.now() + mp.wake_fast_latency;
+  sim.run();
+  EXPECT_EQ(b_done - b_start, 2 * (1000 + mp.resume_cycles))
+      << "sibling contention halves speed";
+}
+
+TEST(ProcessModel, AloneOnCoreRunsFullSpeed) {
+  Simulator sim;
+  MachineParams mp;
+  mp.cores = 2;
+  mp.threads_per_core = 2;
+  mp.freq = Frequency{1.0};
+  mp.ht_shared_speed = 0.5;
+  Machine& m = sim.add_machine(mp);
+  TestProc a(sim, "a");
+  a.pin(m.thread(0, 0));
+  SimTime done = 0;
+  a.post(1000, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, mp.wake_fast_latency + mp.resume_cycles + 1000);
+}
+
+TEST(ProcessModel, CrashDropsQueuedWork) {
+  Simulator sim;
+  MachineParams mp;
+  mp.cores = 1;
+  mp.freq = Frequency{1.0};
+  Machine& m = sim.add_machine(mp);
+  TestProc p(sim, "p");
+  p.pin(m.thread(0));
+
+  int ran = 0;
+  p.post(100, [&] {
+    ++ran;
+    p.crash();
+  });
+  p.post(100, [&] { ++ran; });  // queued behind; must die with the crash
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(p.crashed());
+}
+
+TEST(ProcessModel, PostToCrashedProcessIsDropped) {
+  Simulator sim;
+  Machine& m = sim.add_machine(MachineParams{});
+  TestProc p(sim, "p");
+  p.pin(m.thread(0));
+  p.crash();
+  bool ran = false;
+  p.post(10, [&] { ran = true; });
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(ProcessModel, RestartAcceptsNewWorkButNotStaleTimers) {
+  Simulator sim;
+  MachineParams mp;
+  mp.cores = 1;
+  mp.freq = Frequency{1.0};
+  Machine& m = sim.add_machine(mp);
+  TestProc p(sim, "p");
+  p.pin(m.thread(0));
+
+  bool stale_fired = false;
+  bool fresh_fired = false;
+  p.after(1000, 10, [&] { stale_fired = true; });
+  sim.run_until(10);
+  p.crash();
+  p.restart();
+  p.post(10, [&] { fresh_fired = true; });
+  sim.run();
+  EXPECT_FALSE(stale_fired) << "timers from before the crash must not fire";
+  EXPECT_TRUE(fresh_fired);
+}
+
+TEST(ProcessModel, SuspendAndWakeAreAccounted) {
+  Simulator sim;
+  MachineParams mp;
+  mp.cores = 1;
+  mp.freq = Frequency{1.0};
+  mp.poll_grace = 1000;  // 1 us
+  Machine& m = sim.add_machine(mp);
+  TestProc p(sim, "p");
+  p.pin(m.thread(0));
+
+  p.post(100, [] {});
+  sim.run();  // job + poll grace + suspend
+  EXPECT_EQ(p.stats().suspends, 1u);
+  EXPECT_EQ(p.stats().polling, 1000u);  // grace burned at 1 cycle/ns
+  // Second wake pays another wakeup.
+  p.post(100, [] {});
+  sim.run();
+  EXPECT_EQ(p.stats().wakeups, 2u);
+}
+
+TEST(ProcessModel, ColocatedProcessesUseKernelWake) {
+  Simulator sim;
+  MachineParams mp;
+  mp.cores = 1;
+  mp.freq = Frequency{1.0};
+  Machine& m = sim.add_machine(mp);
+  TestProc a(sim, "a"), b(sim, "b");
+  a.pin(m.thread(0));
+  b.pin(m.thread(0));
+
+  SimTime done = 0;
+  a.post(100, [&] { done = sim.now(); });
+  sim.run();
+  // Shared thread -> kernel-assisted wake: slower than MWAIT and burns
+  // kernel cycles.
+  EXPECT_GE(done, mp.wake_kernel_latency);
+  EXPECT_GE(a.stats().kernel, mp.wake_kernel_cycles);
+}
+
+TEST(ProcessModel, FifoPreservedAcrossWakeup) {
+  Simulator sim;
+  MachineParams mp;
+  mp.cores = 1;
+  mp.freq = Frequency{1.0};
+  Machine& m = sim.add_machine(mp);
+  TestProc p(sim, "p");
+  p.pin(m.thread(0));
+
+  std::vector<int> order;
+  // Both posts land while the process is still waking: order must hold.
+  p.post(10, [&] { order.push_back(1); });
+  p.post(10, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Machines
+// ---------------------------------------------------------------------------
+
+TEST(MachineModel, PaperTestbedsHavePaperShapes) {
+  const auto amd = amd_opteron_6168();
+  EXPECT_EQ(amd.cores, 12);
+  EXPECT_EQ(amd.threads_per_core, 1);
+  EXPECT_DOUBLE_EQ(amd.freq.ghz, 1.9);
+
+  const auto xeon = intel_xeon_e5520();
+  EXPECT_EQ(xeon.cores, 8);
+  EXPECT_EQ(xeon.threads_per_core, 2);
+  EXPECT_DOUBLE_EQ(xeon.freq.ghz, 2.26);
+}
+
+TEST(MachineModel, HtSpeedupWithinPhysicalBounds) {
+  const auto xeon = intel_xeon_e5520();
+  // Two busy siblings must deliver more than one thread but less than two.
+  EXPECT_GT(2 * xeon.ht_shared_speed, 1.0);
+  EXPECT_LT(2 * xeon.ht_shared_speed, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(Stats, SummaryMeanMinMax) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(Stats, HistogramQuantiles) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<SimTime>(i * 1000));
+  // p50 around 500us, p99 around 990us; log buckets give ~7.5% error.
+  EXPECT_NEAR(h.quantile_ns(0.5), 500e3, 500e3 * 0.1);
+  EXPECT_NEAR(h.quantile_ns(0.99), 990e3, 990e3 * 0.1);
+  EXPECT_EQ(h.count(), 1000u);
+}
+
+TEST(Stats, RateMeterWindows) {
+  RateMeter m;
+  m.mark(0);
+  m.record(100);
+  EXPECT_DOUBLE_EQ(m.rate(kSecond), 100.0);
+  m.mark(kSecond);
+  EXPECT_DOUBLE_EQ(m.rate(2 * kSecond), 0.0);
+}
+
+}  // namespace
+}  // namespace neat::sim
