@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_smartnic.dir/ext_smartnic.cpp.o"
+  "CMakeFiles/ext_smartnic.dir/ext_smartnic.cpp.o.d"
+  "ext_smartnic"
+  "ext_smartnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_smartnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_stateful_recovery.dir/ext_stateful_recovery.cpp.o"
+  "CMakeFiles/ext_stateful_recovery.dir/ext_stateful_recovery.cpp.o.d"
+  "ext_stateful_recovery"
+  "ext_stateful_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_stateful_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

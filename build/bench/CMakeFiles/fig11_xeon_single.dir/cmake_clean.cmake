@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_xeon_single.dir/fig11_xeon_single.cpp.o"
+  "CMakeFiles/fig11_xeon_single.dir/fig11_xeon_single.cpp.o.d"
+  "fig11_xeon_single"
+  "fig11_xeon_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_xeon_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

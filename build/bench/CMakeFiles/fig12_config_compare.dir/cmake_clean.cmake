@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_config_compare.dir/fig12_config_compare.cpp.o"
+  "CMakeFiles/fig12_config_compare.dir/fig12_config_compare.cpp.o.d"
+  "fig12_config_compare"
+  "fig12_config_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_config_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_reliability.dir/fig13_reliability.cpp.o"
+  "CMakeFiles/fig13_reliability.dir/fig13_reliability.cpp.o.d"
+  "fig13_reliability"
+  "fig13_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

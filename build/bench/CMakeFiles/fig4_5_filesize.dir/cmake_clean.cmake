@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_5_filesize.dir/fig4_5_filesize.cpp.o"
+  "CMakeFiles/fig4_5_filesize.dir/fig4_5_filesize.cpp.o.d"
+  "fig4_5_filesize"
+  "fig4_5_filesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_5_filesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_amd_scaling.dir/fig7_amd_scaling.cpp.o"
+  "CMakeFiles/fig7_amd_scaling.dir/fig7_amd_scaling.cpp.o.d"
+  "fig7_amd_scaling"
+  "fig7_amd_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_amd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_xeon_multi.cpp" "bench/CMakeFiles/fig9_xeon_multi.dir/fig9_xeon_multi.cpp.o" "gcc" "bench/CMakeFiles/fig9_xeon_multi.dir/fig9_xeon_multi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/neat_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/neat_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/neat_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/socklib/CMakeFiles/neat_socklib.dir/DependInfo.cmake"
+  "/root/repo/build/src/neat/CMakeFiles/neat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/neat_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/drv/CMakeFiles/neat_drv.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/neat_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/neat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

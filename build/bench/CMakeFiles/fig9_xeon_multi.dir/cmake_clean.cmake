@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_xeon_multi.dir/fig9_xeon_multi.cpp.o"
+  "CMakeFiles/fig9_xeon_multi.dir/fig9_xeon_multi.cpp.o.d"
+  "fig9_xeon_multi"
+  "fig9_xeon_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_xeon_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_linux_tuning.dir/table1_linux_tuning.cpp.o"
+  "CMakeFiles/table1_linux_tuning.dir/table1_linux_tuning.cpp.o.d"
+  "table1_linux_tuning"
+  "table1_linux_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_linux_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

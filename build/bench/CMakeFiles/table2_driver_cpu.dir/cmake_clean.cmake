@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_driver_cpu.dir/table2_driver_cpu.cpp.o"
+  "CMakeFiles/table2_driver_cpu.dir/table2_driver_cpu.cpp.o.d"
+  "table2_driver_cpu"
+  "table2_driver_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_driver_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fault_injection.dir/table3_fault_injection.cpp.o"
+  "CMakeFiles/table3_fault_injection.dir/table3_fault_injection.cpp.o.d"
+  "table3_fault_injection"
+  "table3_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_failover.dir/webserver_failover.cpp.o"
+  "CMakeFiles/webserver_failover.dir/webserver_failover.cpp.o.d"
+  "webserver_failover"
+  "webserver_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("ipc")
+subdirs("net")
+subdirs("nic")
+subdirs("drv")
+subdirs("socklib")
+subdirs("neat")
+subdirs("baseline")
+subdirs("apps")
+subdirs("fault")
+subdirs("harness")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_apps.dir/http.cpp.o"
+  "CMakeFiles/neat_apps.dir/http.cpp.o.d"
+  "CMakeFiles/neat_apps.dir/http_server.cpp.o"
+  "CMakeFiles/neat_apps.dir/http_server.cpp.o.d"
+  "CMakeFiles/neat_apps.dir/loadgen.cpp.o"
+  "CMakeFiles/neat_apps.dir/loadgen.cpp.o.d"
+  "libneat_apps.a"
+  "libneat_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_baseline.dir/linux.cpp.o"
+  "CMakeFiles/neat_baseline.dir/linux.cpp.o.d"
+  "libneat_baseline.a"
+  "libneat_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

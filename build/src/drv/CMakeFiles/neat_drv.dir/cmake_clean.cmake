@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_drv.dir/driver.cpp.o"
+  "CMakeFiles/neat_drv.dir/driver.cpp.o.d"
+  "libneat_drv.a"
+  "libneat_drv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_drv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

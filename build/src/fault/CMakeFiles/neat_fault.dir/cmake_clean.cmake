@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_fault.dir/injector.cpp.o"
+  "CMakeFiles/neat_fault.dir/injector.cpp.o.d"
+  "libneat_fault.a"
+  "libneat_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

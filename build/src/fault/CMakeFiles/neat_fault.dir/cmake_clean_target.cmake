@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneat_fault.a"
+)

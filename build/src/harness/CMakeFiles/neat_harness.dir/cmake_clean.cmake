@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_harness.dir/testbed.cpp.o"
+  "CMakeFiles/neat_harness.dir/testbed.cpp.o.d"
+  "libneat_harness.a"
+  "libneat_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

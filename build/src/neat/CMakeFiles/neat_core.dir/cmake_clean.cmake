@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_core.dir/autoscaler.cpp.o"
+  "CMakeFiles/neat_core.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/neat_core.dir/host.cpp.o"
+  "CMakeFiles/neat_core.dir/host.cpp.o.d"
+  "CMakeFiles/neat_core.dir/replica.cpp.o"
+  "CMakeFiles/neat_core.dir/replica.cpp.o.d"
+  "libneat_core.a"
+  "libneat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

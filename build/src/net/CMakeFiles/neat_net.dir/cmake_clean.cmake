@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_net.dir/codec.cpp.o"
+  "CMakeFiles/neat_net.dir/codec.cpp.o.d"
+  "CMakeFiles/neat_net.dir/tcp.cpp.o"
+  "CMakeFiles/neat_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/neat_net.dir/transport_codec.cpp.o"
+  "CMakeFiles/neat_net.dir/transport_codec.cpp.o.d"
+  "libneat_net.a"
+  "libneat_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

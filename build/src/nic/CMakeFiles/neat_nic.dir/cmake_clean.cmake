@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_nic.dir/nic.cpp.o"
+  "CMakeFiles/neat_nic.dir/nic.cpp.o.d"
+  "libneat_nic.a"
+  "libneat_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

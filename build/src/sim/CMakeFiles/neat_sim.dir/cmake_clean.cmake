@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_sim.dir/sim.cpp.o"
+  "CMakeFiles/neat_sim.dir/sim.cpp.o.d"
+  "libneat_sim.a"
+  "libneat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neat_socklib.dir/neat_socket.cpp.o"
+  "CMakeFiles/neat_socklib.dir/neat_socket.cpp.o.d"
+  "CMakeFiles/neat_socklib.dir/socklib.cpp.o"
+  "CMakeFiles/neat_socklib.dir/socklib.cpp.o.d"
+  "libneat_socklib.a"
+  "libneat_socklib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neat_socklib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_harness.dir/test_apps_harness.cpp.o"
+  "CMakeFiles/test_apps_harness.dir/test_apps_harness.cpp.o.d"
+  "test_apps_harness"
+  "test_apps_harness.pdb"
+  "test_apps_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

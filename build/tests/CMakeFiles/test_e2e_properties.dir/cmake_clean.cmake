@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_properties.dir/test_e2e_properties.cpp.o"
+  "CMakeFiles/test_e2e_properties.dir/test_e2e_properties.cpp.o.d"
+  "test_e2e_properties"
+  "test_e2e_properties.pdb"
+  "test_e2e_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

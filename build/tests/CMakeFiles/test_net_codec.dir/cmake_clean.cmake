@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_codec.dir/test_net_codec.cpp.o"
+  "CMakeFiles/test_net_codec.dir/test_net_codec.cpp.o.d"
+  "test_net_codec"
+  "test_net_codec.pdb"
+  "test_net_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

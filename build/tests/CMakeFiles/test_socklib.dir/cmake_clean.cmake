@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_socklib.dir/test_socklib.cpp.o"
+  "CMakeFiles/test_socklib.dir/test_socklib.cpp.o.d"
+  "test_socklib"
+  "test_socklib.pdb"
+  "test_socklib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_socklib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

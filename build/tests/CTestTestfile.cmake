@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_ipc[1]_include.cmake")
+include("/root/repo/build/tests/test_net_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_nic[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_scaling[1]_include.cmake")
+include("/root/repo/build/tests/test_http[1]_include.cmake")
+include("/root/repo/build/tests/test_socklib[1]_include.cmake")
+include("/root/repo/build/tests/test_linux[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_replica[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_harness[1]_include.cmake")
