@@ -94,6 +94,54 @@ inline RunResult run_linux(const LinuxRun& r) {
   return run_window(tb, client, r.warmup, r.measure);
 }
 
+/// Tiny machine-readable sidecar: accumulates key/value pairs and writes
+/// them as one flat JSON object to BENCH_<name>.json in the working
+/// directory, so CI can track counters without scraping stdout.
+class JsonWriter {
+ public:
+  void add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    kv_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, std::uint64_t v) {
+    kv_.emplace_back(key, std::to_string(v));
+  }
+  void add(const std::string& key, int v) {
+    kv_.emplace_back(key, std::to_string(v));
+  }
+  void add(const std::string& key, bool v) {
+    kv_.emplace_back(key, v ? "true" : "false");
+  }
+  void add(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (const char c : v) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    kv_.emplace_back(key, std::move(quoted));
+  }
+
+  bool write(const std::string& bench_name) const {
+    const std::string path = "BENCH_" + bench_name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("{\n", f);
+    for (std::size_t i = 0; i < kv_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", kv_[i].first.c_str(),
+                   kv_[i].second.c_str(), i + 1 < kv_.size() ? "," : "");
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
 inline void header(const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);

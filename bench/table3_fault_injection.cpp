@@ -20,6 +20,10 @@ int main() {
   int tcp_lost = 0;
   int reachable_after = 0;
   std::uint64_t conns_lost_total = 0;
+  std::uint64_t detections_total = 0;
+  std::uint64_t restarts_total = 0;
+  std::uint64_t retransmits_total = 0;
+  double detection_ms_total = 0.0;
   const int kRuns = 100;
 
   for (int run = 0; run < kRuns; ++run) {
@@ -62,6 +66,14 @@ int main() {
       ++transparent;
     }
     if (accepted_after > accepted_before) ++reachable_after;
+
+    const auto& sup = server.neat->supervisor().stats();
+    detections_total += sup.detections;
+    restarts_total += sup.restarts + sup.driver_restarts;
+    detection_ms_total += sup.mean_detection_ms() * sup.detections;
+    for (std::size_t i = 0; i < server.neat->replica_count(); ++i) {
+      retransmits_total += server.neat->replica(i).tcp().stats().retransmits;
+    }
   }
 
   std::printf("%-34s %8s %8s\n", "", "paper", "measured");
@@ -75,5 +87,28 @@ int main() {
               "share only — the other replica is untouched)\n",
               tcp_lost ? static_cast<double>(conns_lost_total) / tcp_lost
                        : 0.0);
+  std::printf("supervision: %llu watchdog detections (mean %.2f ms), "
+              "%llu restarts across %d runs\n",
+              static_cast<unsigned long long>(detections_total),
+              detections_total
+                  ? detection_ms_total / static_cast<double>(detections_total)
+                  : 0.0,
+              static_cast<unsigned long long>(restarts_total), kRuns);
+
+  JsonWriter json;
+  json.add("runs", kRuns);
+  json.add("transparent_pct", 100.0 * transparent / kRuns);
+  json.add("tcp_lost_pct", 100.0 * tcp_lost / kRuns);
+  json.add("reachable_after", reachable_after);
+  json.add("avg_conns_lost_per_tcp_fault",
+           tcp_lost ? static_cast<double>(conns_lost_total) / tcp_lost : 0.0);
+  json.add("detections", detections_total);
+  json.add("mean_detection_ms",
+           detections_total
+               ? detection_ms_total / static_cast<double>(detections_total)
+               : 0.0);
+  json.add("restarts", restarts_total);
+  json.add("tcp_retransmits", retransmits_total);
+  json.write("table3_fault_injection");
   return 0;
 }

@@ -112,6 +112,7 @@ std::size_t HttpResponseParser::feed(std::span<const std::uint8_t> data) {
         }
         head_.clear();
         body_remaining_ = len;
+        body_len_ = len;
         in_body_ = true;
         if (body_remaining_ == 0) {
           in_body_ = false;
@@ -120,6 +121,7 @@ std::size_t HttpResponseParser::feed(std::span<const std::uint8_t> data) {
       }
     } else {
       const std::size_t take = std::min(body_remaining_, data.size() - i);
+      if (sink_) sink_(body_len_ - body_remaining_, data.subspan(i, take));
       body_remaining_ -= take;
       body_total_ += take;
       i += take;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -60,10 +61,18 @@ class HttpResponseParser {
   [[nodiscard]] int last_status() const { return status_; }
   [[nodiscard]] std::uint64_t body_bytes_total() const { return body_total_; }
 
+  /// Observes every body chunk with its offset inside the current response
+  /// body. Lets clients verify payload integrity end-to-end (the chaos
+  /// campaign's "no silent corruption" invariant) without buffering.
+  using BodySink =
+      std::function<void(std::size_t offset, std::span<const std::uint8_t>)>;
+  void set_body_sink(BodySink sink) { sink_ = std::move(sink); }
+
   void reset() {
     head_.clear();
     in_body_ = false;
     body_remaining_ = 0;
+    body_len_ = 0;
     error_ = false;
   }
 
@@ -71,9 +80,11 @@ class HttpResponseParser {
   std::string head_;
   bool in_body_{false};
   std::size_t body_remaining_{0};
+  std::size_t body_len_{0};
   int status_{0};
   bool error_{false};
   std::uint64_t body_total_{0};
+  BodySink sink_;
 };
 
 /// In-memory static content (lighttpd serving files cached in memory).

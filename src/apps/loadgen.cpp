@@ -1,5 +1,6 @@
 #include "apps/loadgen.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace neat::apps {
@@ -28,6 +29,7 @@ void LoadGen::mark() {
   report_.clean_conns = 0;
   report_.error_conns = 0;
   report_.bad_status = 0;
+  report_.payload_mismatches = 0;
   report_.errors_by_reason.fill(0);
   report_.latency.reset();
   for (auto& [fd, c] : conns_) {
@@ -51,7 +53,21 @@ void LoadGen::open_connection() {
       open_connection();
       return;
     }
-    conns_.emplace(fd, Conn{});
+    auto [cit, inserted] = conns_.emplace(fd, Conn{});
+    if (inserted && config_.expect_body != nullptr) {
+      // Element addresses in an unordered_map are stable; the sink dies
+      // with the Conn it points at.
+      Conn* cp = &cit->second;
+      cp->parser.set_body_sink(
+          [this, cp](std::size_t off, std::span<const std::uint8_t> chunk) {
+            if (cp->parser.last_status() != 200) return;
+            const auto& want = *config_.expect_body;
+            if (off + chunk.size() > want.size() ||
+                !std::equal(chunk.begin(), chunk.end(), want.begin() + off)) {
+              ++report_.payload_mismatches;
+            }
+          });
+    }
   });
 }
 

@@ -34,6 +34,11 @@ class LoadGen : public sim::Process {
     /// full speed). Used to dial in low offered loads (Table 2).
     sim::SimTime think_time{0};
 
+    /// When set, every 200-response body is compared byte-for-byte against
+    /// this expected content (the served file); mismatches are counted in
+    /// Report::payload_mismatches. The pointee must outlive the LoadGen.
+    const std::vector<std::uint8_t>* expect_body{nullptr};
+
     sim::Cycles connect_cost{3500};
     sim::Cycles send_cost{2800};
     sim::Cycles recv_cost{2600};
@@ -46,6 +51,9 @@ class LoadGen : public sim::Process {
     std::uint64_t clean_conns{0};
     std::uint64_t error_conns{0};
     std::uint64_t bad_status{0};
+    /// Body bytes that differed from Config::expect_body (0 = integrity
+    /// held end-to-end, the chaos campaign's core data invariant).
+    std::uint64_t payload_mismatches{0};
     /// Error connections broken down by CloseReason (indexed by enum).
     std::array<std::uint64_t, 5> errors_by_reason{};
     sim::LatencyHistogram latency;  ///< per-response latency

@@ -123,6 +123,7 @@ void NicDriver::drain_one(int queue) {
 }
 
 void NicDriver::on_restart() {
+  ++dstats_.restarts;
   // Fresh driver instance: forget in-progress drains, then rescan all
   // rings — the NIC kept receiving while we were down (bounded by ring
   // depth; the excess was dropped by the hardware, as on a real machine).

@@ -29,6 +29,7 @@ struct DriverStats {
   std::uint64_t rx_dropped_channel_full{0};
   std::uint64_t tx_sent{0};
   std::uint64_t control_ops{0};
+  std::uint64_t restarts{0};  ///< crash-recovery cycles this driver survived
 };
 
 class NicDriver : public sim::Process {

@@ -158,6 +158,7 @@ Placement xeon_placement(bool multi_component, int replicas, int webs,
 ServerRig build_neat_server(Testbed& tb, NeatServerOptions opt) {
   ServerRig rig;
   for (const auto& [path, size] : opt.files) rig.files->add(path, size);
+  if (opt.tracking_filters) tb.server_nic.set_tracking_filters(true);
 
   NeatHost::Config hc = opt.host;
   hc.kind = opt.multi_component ? NeatHost::Config::Kind::kMulti

@@ -41,6 +41,8 @@ NeatHost::NeatHost(sim::Simulator& sim, sim::Machine& machine, nic::Nic& nic,
       os_proc_(std::make_unique<OsProcess>(sim)),
       rng_(sim.rng().split(0x4057)) {
   if (config_.smartnic_offload) driver_->set_hardware_offload(true);
+  supervisor_ = std::make_unique<Supervisor>(*this, config_.supervision);
+  supervisor_->watch_driver();
   gc_timer_ = sim_.schedule(config_.gc_period, [this] { gc_tick(); });
 }
 
@@ -74,6 +76,7 @@ StackReplica& NeatHost::add_replica(
   }
   StackReplica& ref = *rep;
   replicas_.push_back(std::move(rep));
+  replica_pins_.push_back(pins);
   checkpoints_.resize(replicas_.size());
   if (config_.checkpoint_interval > 0) {
     sim_.schedule(config_.checkpoint_interval,
@@ -84,13 +87,14 @@ StackReplica& NeatHost::add_replica(
   // Subsocket replication: every recorded listener appears on the new
   // replica too, so it immediately shares the accept load.
   replay_listens(ref);
+  supervisor_->watch_replica(ref);
   return ref;
 }
 
 std::vector<StackReplica*> NeatHost::active_replicas() {
   std::vector<StackReplica*> out;
   for (auto& r : replicas_) {
-    if (!r->terminating && !r->terminated &&
+    if (!r->terminating && !r->terminated && !r->quarantined &&
         !r->tcp_process().crashed()) {
       out.push_back(r.get());
     }
@@ -101,7 +105,7 @@ std::vector<StackReplica*> NeatHost::active_replicas() {
 std::vector<StackReplica*> NeatHost::serving_replicas() {
   std::vector<StackReplica*> out;
   for (auto& r : replicas_) {
-    if (!r->terminated) out.push_back(r.get());
+    if (!r->terminated && !r->quarantined) out.push_back(r.get());
   }
   return out;
 }
@@ -152,14 +156,28 @@ void NeatHost::begin_scale_down(StackReplica& replica) {
   update_steering();
 }
 
+void NeatHost::retire_queue(int queue) {
+  driver_->deactivate_endpoint(queue);
+  // Purge tracking filters pinned to the dead queue: a reused 4-tuple
+  // would otherwise steer its SYN into a queue nobody drains (a silent
+  // connect blackhole). Fall back to RSS over the live replicas instead.
+  driver_->control([this, queue] { nic_.remove_filters_for_queue(queue); });
+}
+
 void NeatHost::gc_tick() {
   for (auto& r : replicas_) {
-    if (r->terminating && !r->terminated &&
+    // A drainer that *crashed* is not collected here: its zero connection
+    // count is the crash's doing, not a clean drain. The supervisor's
+    // watchdog must detect the death and collect it (stamping the recovery
+    // log), otherwise the event would vanish unaccounted.
+    if (r->terminating && !r->terminated && !r->tcp_process().crashed() &&
         r->tcp().active_connection_count() == 0) {
       // (iii) connection count hit zero: collect the replica. Its cores
-      // are now free for applications.
+      // are now free for applications. Unwatch first — these crashes are
+      // deliberate, not failures for the watchdog to recover.
+      supervisor_->unwatch_replica(*r);
       r->terminated = true;
-      driver_->deactivate_endpoint(r->queue());
+      retire_queue(r->queue());
       for (auto* p : r->processes()) p->crash();
     }
   }
@@ -200,7 +218,11 @@ void NeatHost::inject_crash(StackReplica& replica, Component component) {
   ev.connections_lost = tcp_loss ? replica.tcp().connection_count() : 0;
   recovery_log_.push_back(ev);
 
-  // The crash: state vanishes silently (on_crash hooks).
+  // The crash: state vanishes silently (on_crash hooks). That is ALL this
+  // does — recovery belongs to the supervisor, whose watchdog must notice
+  // the silence and schedule the restart (or quarantine). There is no
+  // oracle restart path; a second inject while the component is already
+  // down returns early above, so restarts cannot double-schedule.
   proc->crash();
   // The driver stops passing packets to the replica until it announces
   // itself again (§3.6) — only needed when the RX-facing component died.
@@ -208,33 +230,6 @@ void NeatHost::inject_crash(StackReplica& replica, Component component) {
       std::string_view(replica.kind()) == "single") {
     driver_->deactivate_endpoint(replica.queue());
   }
-
-  // Restart after the (short) recovery delay.
-  sim_.schedule(config_.restart_delay, [this, &replica, component, proc,
-                                        tcp_loss] {
-    proc->restart();
-    replica.reset_after_restart(component);
-    replica.rx_channel().rebind(replica.rx_channel().consumer());
-    if (tcp_loss) {
-      // Stateful recovery: restore whatever the last checkpoint captured
-      // (empty vector under the default stateless strategy), then tell the
-      // applications which sockets survived and which are gone.
-      std::vector<net::TcpSocketPtr> restored;
-      if (config_.checkpoint_interval > 0) {
-        restored = replica.tcp().restore(
-            checkpoints_[static_cast<std::size_t>(replica.id())]);
-        recovery_log_.back().connections_restored = restored.size();
-      }
-      for (auto* l : listeners_) l->on_replica_tcp_recovery(replica, restored);
-      // Re-create the listening subsockets: the TCP server is reachable
-      // again right after recovery.
-      replay_listens(replica);
-    }
-    // Replica announces itself; the driver resumes delivery.
-    driver_->control([this, &replica] {
-      driver_->announce_endpoint(replica.queue(), &replica.rx_channel());
-    });
-  });
 }
 
 void NeatHost::inject_driver_crash() {
@@ -244,12 +239,113 @@ void NeatHost::inject_driver_crash() {
   ev.component = "nicdrv";
   ev.tcp_state_lost = false;
   recovery_log_.push_back(ev);
+  // Crash only; the supervisor's driver watchdog detects and restarts.
   driver_->crash();
-  sim_.schedule(config_.restart_delay, [this] {
-    driver_->restart();
-    // Replica TX channels into the driver forget in-flight frames.
-    update_steering();
+}
+
+std::size_t NeatHost::recover_replica(StackReplica& replica,
+                                      Component component) {
+  sim::Process* proc = replica.component(component);
+  assert(proc != nullptr);
+  if (!proc->crashed()) return 0;
+  proc->restart();
+  replica.reset_after_restart(component);
+  replica.rx_channel().rebind(replica.rx_channel().consumer());
+  const bool tcp_loss =
+      component == Component::kTcp || component == Component::kWhole ||
+      std::string_view(replica.kind()) == "single";
+  std::size_t restored_count = 0;
+  if (tcp_loss) {
+    // Stateful recovery: restore whatever the last checkpoint captured
+    // (empty vector under the default stateless strategy), then tell the
+    // applications which sockets survived and which are gone.
+    std::vector<net::TcpSocketPtr> restored;
+    if (config_.checkpoint_interval > 0) {
+      restored = replica.tcp().restore(
+          checkpoints_[static_cast<std::size_t>(replica.id())]);
+      restored_count = restored.size();
+    }
+    for (auto* l : listeners_) l->on_replica_tcp_recovery(replica, restored);
+    // Re-create the listening subsockets: the TCP server is reachable
+    // again right after recovery. A draining replica skips this — it must
+    // not attract fresh connections (§3.4).
+    if (!replica.terminating) replay_listens(replica);
+  }
+  // Replica announces itself; the driver resumes delivery.
+  driver_->control([this, &replica] {
+    driver_->announce_endpoint(replica.queue(), &replica.rx_channel());
   });
+  return restored_count;
+}
+
+void NeatHost::recover_driver() {
+  if (!driver_->crashed()) return;
+  driver_->restart();
+  // Replica TX channels into the driver forget in-flight frames.
+  update_steering();
+}
+
+void NeatHost::quarantine_replica(StackReplica& replica) {
+  if (replica.quarantined) return;
+  supervisor_->unwatch_replica(replica);
+  replica.quarantined = true;
+  replica.terminated = true;  // GC, checkpointing and steering all skip it
+  retire_queue(replica.queue());
+  for (auto* p : replica.processes()) {
+    if (!p->crashed()) p->crash();
+  }
+  // Apps learn every socket on this replica is gone for good.
+  for (auto* l : listeners_) l->on_replica_tcp_recovery(replica, {});
+  update_steering();
+}
+
+StackReplica* NeatHost::spawn_replacement(StackReplica& failed) {
+  const int queue = static_cast<int>(replicas_.size());
+  if (queue >= nic_.params().num_queues) return nullptr;
+  const auto pins = replica_pins_[static_cast<std::size_t>(failed.id())];
+  return &add_replica(pins);
+}
+
+void NeatHost::collect_replica(StackReplica& replica) {
+  if (replica.terminated) return;
+  supervisor_->unwatch_replica(replica);
+  replica.terminated = true;
+  retire_queue(replica.queue());
+  for (auto* p : replica.processes()) {
+    if (!p->crashed()) p->crash();
+  }
+  // Unlike the clean GC path this replica still had connections; the apps
+  // must learn they are gone.
+  for (auto* l : listeners_) l->on_replica_tcp_recovery(replica, {});
+}
+
+std::size_t NeatHost::note_detection(int replica_id,
+                                     const std::string& component,
+                                     sim::SimTime detected_at) {
+  for (std::size_t i = recovery_log_.size(); i-- > 0;) {
+    RecoveryEvent& ev = recovery_log_[i];
+    if (ev.replica_id == replica_id && ev.component == component &&
+        ev.detected_at == 0 && ev.recovered_at == 0) {
+      ev.detected_at = detected_at;
+      return i;
+    }
+  }
+  // A death the injection log never saw (defensive; all current crash
+  // paths log before crashing).
+  RecoveryEvent ev;
+  ev.at = detected_at;
+  ev.replica_id = replica_id;
+  ev.component = component;
+  ev.detected_at = detected_at;
+  recovery_log_.push_back(ev);
+  return recovery_log_.size() - 1;
+}
+
+std::vector<std::uint16_t> NeatHost::listen_ports() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(listen_registry_.size());
+  for (const auto& rec : listen_registry_) out.push_back(rec.port);
+  return out;
 }
 
 }  // namespace neat

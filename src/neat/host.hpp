@@ -20,6 +20,7 @@
 #include "drv/driver.hpp"
 #include "neat/costs.hpp"
 #include "neat/replica.hpp"
+#include "neat/supervisor.hpp"
 #include "nic/nic.hpp"
 #include "sim/machine.hpp"
 #include "sim/process.hpp"
@@ -67,14 +68,27 @@ struct ListenRecord {
   std::function<void(StackReplica&, net::TcpListener&)> wire;
 };
 
-/// A recovery event, for the fault-injection experiments (Table 3).
+/// A recovery event, for the fault-injection experiments (Table 3) and the
+/// chaos campaigns. The crash itself fills the first block; the supervisor
+/// annotates detection/recovery as it observes and handles the failure.
 struct RecoveryEvent {
-  sim::SimTime at{0};
+  sim::SimTime at{0};  ///< when the component actually died
   int replica_id{-1};
   std::string component;
   bool tcp_state_lost{false};
   std::size_t connections_lost{0};
   std::size_t connections_restored{0};  ///< via checkpoint, if enabled
+
+  // Supervision annotations.
+  sim::SimTime detected_at{0};   ///< watchdog declared the component dead
+  sim::SimTime recovered_at{0};  ///< restart (or terminal action) completed
+  int backoff_level{0};          ///< exponential-backoff level applied
+  /// "restart" | "quarantine" | "replace" | "gc" (collected while draining).
+  std::string action{"restart"};
+
+  [[nodiscard]] sim::SimTime detection_latency() const {
+    return detected_at > at ? detected_at - at : 0;
+  }
 };
 
 class NeatHost {
@@ -101,6 +115,10 @@ class NeatHost {
     /// strategy). Non-zero intervals buy connection survival at a
     /// per-interval CPU cost on every replica.
     sim::SimTime checkpoint_interval{0};
+
+    /// Watchdog/restart/quarantine policy; restart_delay above is the
+    /// backoff base.
+    SupervisionConfig supervision{};
   };
 
   NeatHost(sim::Simulator& sim, sim::Machine& machine, nic::Nic& nic,
@@ -148,14 +166,50 @@ class NeatHost {
   void begin_scale_down(StackReplica& replica);
 
   // --- reliability (§3.6) ----------------------------------------------------
-  /// Crash one component of a replica; recovery proceeds automatically.
+  /// Crash one component of a replica. The crash is all this does: the
+  /// supervisor's watchdog must *detect* it and schedule the recovery —
+  /// there is no oracle restart path.
   void inject_crash(StackReplica& replica, Component component);
-  /// Crash and recover the NIC driver (driver recovery, §3.5).
+  /// Crash the NIC driver; detection/restart via the supervisor (§3.5).
   void inject_driver_crash();
+
+  [[nodiscard]] Supervisor& supervisor() { return *supervisor_; }
+
+  // --- recovery mechanics (invoked by the Supervisor) ------------------------
+  /// Restart a crashed component: fresh process image, state reset,
+  /// checkpoint restore (if enabled), app notification, listener replay,
+  /// driver re-announce. Returns the number of connections a checkpoint
+  /// restored (0 under stateless recovery).
+  std::size_t recover_replica(StackReplica& replica, Component component);
+  /// Restart the crashed driver and re-program steering.
+  void recover_driver();
+  /// Give up on a crash-looping replica: processes stay down, steering
+  /// drops it for good, apps learn their sockets are gone.
+  void quarantine_replica(StackReplica& replica);
+  /// Spawn a fresh replica on the same hardware threads as `failed`
+  /// (quarantine replacement). Returns nullptr when out of NIC queues.
+  StackReplica* spawn_replacement(StackReplica& failed);
+  /// Collect a replica that crashed while draining under lazy termination:
+  /// it has nothing left to serve, so it goes straight to terminated.
+  void collect_replica(StackReplica& replica);
+
+  /// Find the crash event for (replica_id, component) that has not been
+  /// detected yet, stamp its detected_at, and return its index; appends a
+  /// fresh event when the crash was not injected through the log (defensive
+  /// — every current crash path logs). Indices stay valid: the log is
+  /// append-only.
+  std::size_t note_detection(int replica_id, const std::string& component,
+                             sim::SimTime detected_at);
+  [[nodiscard]] RecoveryEvent& event(std::size_t idx) {
+    return recovery_log_[idx];
+  }
 
   [[nodiscard]] const std::vector<RecoveryEvent>& recovery_log() const {
     return recovery_log_;
   }
+
+  /// Ports with durable listen() records (invariant audits).
+  [[nodiscard]] std::vector<std::uint16_t> listen_ports() const;
 
   void add_failure_listener(ReplicaFailureListener* l) {
     listeners_.push_back(l);
@@ -168,6 +222,9 @@ class NeatHost {
   void update_steering();
 
  private:
+  /// Permanently stop delivery to `queue` (quarantine / collection):
+  /// deactivate the driver endpoint and purge its stale tracking filters.
+  void retire_queue(int queue);
   void gc_tick();
   void checkpoint_tick(int replica_id);
 
@@ -178,7 +235,10 @@ class NeatHost {
   std::unique_ptr<drv::NicDriver> driver_;
   std::unique_ptr<SyscallServer> syscall_;
   std::unique_ptr<sim::Process> os_proc_;
+  std::unique_ptr<Supervisor> supervisor_;
   std::vector<std::unique_ptr<StackReplica>> replicas_;
+  /// Hardware threads each replica was pinned to (replacement spawning).
+  std::vector<std::vector<sim::HwThread*>> replica_pins_;
   std::vector<ListenRecord> listen_registry_;
   std::vector<ReplicaFailureListener*> listeners_;
   std::vector<RecoveryEvent> recovery_log_;

@@ -103,6 +103,10 @@ class StackReplica {
   bool terminating{false};
   /// Set once the terminating replica drained and was collected.
   bool terminated{false};
+  /// Set when the supervisor gave up on a crash-looping replica: its
+  /// processes stay dead, it never rejoins steering, and (policy
+  /// permitting) a freshly spawned replica takes over its load.
+  bool quarantined{false};
 
   /// The replica's address-space layout token (§3.8): each replica is
   /// created with ASLR enabled, so semantically equivalent replicas have

@@ -390,6 +390,13 @@ class TcpStack {
 
   [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
 
+  /// Connections currently mid-handshake (SYN seen, not yet established).
+  /// The chaos campaign uses this to time crashes into the handshake
+  /// window, the paper's hardest recovery case.
+  [[nodiscard]] std::size_t pending_handshake_count() const {
+    return pending_handshakes_;
+  }
+
   /// Number of connections in "active" states (not TIME_WAIT/CLOSED) —
   /// what the lazy-termination garbage collector watches.
   [[nodiscard]] std::size_t active_connection_count() const;

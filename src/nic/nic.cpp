@@ -60,6 +60,20 @@ void Nic::remove_flow_filter(const net::FlowKey& key) {
   }
 }
 
+std::size_t Nic::remove_filters_for_queue(int queue) {
+  std::size_t removed = 0;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.queue == queue) {
+      lru_.erase(it->second.lru_it);
+      it = flows_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 std::optional<int> Nic::flow_filter(const net::FlowKey& key) const {
   if (auto it = flows_.find(key); it != flows_.end()) return it->second.queue;
   return std::nullopt;
@@ -205,7 +219,18 @@ net::PacketPtr Nic::poll_rx(int queue) {
 // ---------------------------------------------------------------------------
 
 Link::Link(sim::Simulator& sim, Nic& a, Nic& b, Params params)
-    : sim_(sim), ends_{&a, &b}, params_(params), rng_(sim.rng().split(0x11eb)) {
+    : sim_(sim),
+      ends_{&a, &b},
+      params_(params),
+      impairment_(params.impairment),
+      rng_(sim.rng().split(0x11eb)) {
+  // The flat Params knobs predate LinkImpairment; fold them in.
+  if (params.drop_probability > 0) {
+    impairment_.drop_probability = params.drop_probability;
+  }
+  if (params.corrupt_probability > 0) {
+    impairment_.corrupt_probability = params.corrupt_probability;
+  }
   a.attach_link(this);
   b.attach_link(this);
 }
@@ -226,17 +251,24 @@ sim::SimTime Link::wire_time(const net::Packet& frame) const {
   return std::max<sim::SimTime>(1, static_cast<sim::SimTime>(ns));
 }
 
+void Link::deliver_at(Nic* to, net::PacketPtr frame, sim::SimTime arrival) {
+  sim_.queue().schedule_at(arrival, [this, to, frame = std::move(frame)] {
+    ++delivered_;
+    to->receive(frame);
+  });
+}
+
 void Link::send(Nic& from, net::PacketPtr frame) {
   const int d = &from == ends_[0] ? 0 : 1;
   Nic* to = ends_[1 - d];
   Direction& dir = dir_[d];
+  const LinkImpairment& imp = impairment_;
 
-  if (params_.drop_probability > 0 && rng_.chance(params_.drop_probability)) {
+  if (imp.drop_probability > 0 && rng_.chance(imp.drop_probability)) {
     ++dropped_;
     return;
   }
-  if (params_.corrupt_probability > 0 &&
-      rng_.chance(params_.corrupt_probability)) {
+  if (imp.corrupt_probability > 0 && rng_.chance(imp.corrupt_probability)) {
     // Flip a byte somewhere in the frame; checksums must catch this.
     auto b = frame->bytes();
     if (!b.empty()) {
@@ -251,11 +283,21 @@ void Link::send(Nic& from, net::PacketPtr frame) {
   const sim::SimTime start = std::max(sim_.now(), dir.busy_until);
   dir.busy_until = start + wt;
   dir.busy_accum += wt;
-  const sim::SimTime arrival = dir.busy_until + params_.propagation;
-  sim_.queue().schedule_at(arrival, [this, to, frame = std::move(frame)] {
-    ++delivered_;
-    to->receive(frame);
-  });
+  sim::SimTime arrival = dir.busy_until + params_.propagation;
+  if (imp.jitter > 0) arrival += rng_.below(imp.jitter);
+  if (imp.reorder_probability > 0 && imp.reorder_window > 0 &&
+      rng_.chance(imp.reorder_probability)) {
+    // Hold the frame back so later frames overtake it on delivery.
+    arrival += 1 + rng_.below(imp.reorder_window);
+    ++reordered_;
+  }
+  if (imp.duplicate_probability > 0 &&
+      rng_.chance(imp.duplicate_probability)) {
+    ++duplicated_;
+    deliver_at(to, frame->clone(), arrival + 1 + rng_.below(
+        std::max<sim::SimTime>(1, params_.propagation)));
+  }
+  deliver_at(to, std::move(frame), arrival);
 }
 
 double Link::utilization(sim::SimTime window_start, sim::SimTime now,

@@ -74,6 +74,10 @@ class Nic {
   [[nodiscard]] net::MacAddr mac() const { return mac_; }
   [[nodiscard]] net::Ipv4Addr ip() const { return ip_; }
   [[nodiscard]] const NicParams& params() const { return params_; }
+
+  /// Enable/disable per-flow tracking filters after construction (the
+  /// harness forwards NeatServerOptions::tracking_filters through here).
+  void set_tracking_filters(bool on) { params_.tracking_filters = on; }
   [[nodiscard]] const NicStats& stats() const { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
@@ -95,6 +99,11 @@ class Nic {
   /// Install an exact-match steering filter. Evicts LRU when full.
   void add_flow_filter(const net::FlowKey& key, int queue);
   void remove_flow_filter(const net::FlowKey& key);
+  /// Drop every filter steering to `queue` (the endpoint died for good:
+  /// quarantine/collection). Stale pins to a dead queue would otherwise
+  /// blackhole reused 4-tuples — their SYNs steer to a queue nobody
+  /// drains. Returns how many filters were removed.
+  std::size_t remove_filters_for_queue(int queue);
   [[nodiscard]] std::optional<int> flow_filter(const net::FlowKey& key) const;
   [[nodiscard]] std::size_t flow_filter_count() const { return flows_.size(); }
 
@@ -153,23 +162,58 @@ class Nic {
   std::list<net::FlowKey> lru_;  // front = most recent
 };
 
+/// Wire impairment knobs — the adversarial packet dynamics a robustness
+/// claim must survive. Every decision is drawn from the link's own
+/// deterministic sub-Rng, so a (seed, schedule) pair replays bit-for-bit.
+struct LinkImpairment {
+  /// Frame is silently discarded.
+  double drop_probability{0.0};
+  /// One byte of the frame is flipped; checksums must catch it.
+  double corrupt_probability{0.0};
+  /// Frame is delivered twice (the second copy after a short extra delay).
+  double duplicate_probability{0.0};
+  /// Frame is held back an extra uniform [0, reorder_window) so frames
+  /// serialized after it can overtake it.
+  double reorder_probability{0.0};
+  sim::SimTime reorder_window{200 * sim::kMicrosecond};
+  /// Uniform [0, jitter) added to every delivery (latency variation).
+  sim::SimTime jitter{0};
+
+  [[nodiscard]] bool any() const {
+    return drop_probability > 0 || corrupt_probability > 0 ||
+           duplicate_probability > 0 || reorder_probability > 0 || jitter > 0;
+  }
+};
+
 /// Full-duplex point-to-point 10GbE link (the SFP+ DAC cable between the two
 /// testbed machines). Each direction serializes frames FIFO at the
-/// configured bandwidth; optional loss/corruption injection for tests.
+/// configured bandwidth; optional impairment injection (drop, corruption,
+/// duplication, reordering, jitter) for robustness tests.
 class Link {
  public:
   struct Params {
     double bandwidth_gbps{10.0};
     sim::SimTime propagation{500 * sim::kNanosecond};
-    double drop_probability{0.0};
-    double corrupt_probability{0.0};
+    double drop_probability{0.0};     // convenience: folded into impairment
+    double corrupt_probability{0.0};  // convenience: folded into impairment
+    LinkImpairment impairment{};
   };
 
   Link(sim::Simulator& sim, Nic& a, Nic& b, Params params);
   Link(sim::Simulator& sim, Nic& a, Nic& b) : Link(sim, a, b, Params{}) {}
 
-  void set_drop_probability(double p) { params_.drop_probability = p; }
-  void set_corrupt_probability(double p) { params_.corrupt_probability = p; }
+  void set_drop_probability(double p) { impairment_.drop_probability = p; }
+  void set_corrupt_probability(double p) { impairment_.corrupt_probability = p; }
+
+  /// Swap the whole impairment profile at once (chaos campaigns toggle
+  /// between a baseline profile and a degraded blip). Returns the previous
+  /// profile so callers can restore it.
+  LinkImpairment set_impairment(const LinkImpairment& imp) {
+    LinkImpairment old = impairment_;
+    impairment_ = imp;
+    return old;
+  }
+  [[nodiscard]] const LinkImpairment& impairment() const { return impairment_; }
 
   /// Observation tap: called for every frame put on the wire (after
   /// drop/corrupt injection), with the sending NIC. For tracing tools.
@@ -181,6 +225,8 @@ class Link {
 
   [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t frames_corrupted() const { return corrupted_; }
+  [[nodiscard]] std::uint64_t frames_duplicated() const { return duplicated_; }
+  [[nodiscard]] std::uint64_t frames_reordered() const { return reordered_; }
   [[nodiscard]] std::uint64_t frames_delivered() const { return delivered_; }
   [[nodiscard]] double utilization(sim::SimTime window_start,
                                    sim::SimTime now, int dir) const;
@@ -194,13 +240,18 @@ class Link {
   /// Wire time for a frame, TSO-aware (per-MTU-frame overhead).
   [[nodiscard]] sim::SimTime wire_time(const net::Packet& frame) const;
 
+  void deliver_at(Nic* to, net::PacketPtr frame, sim::SimTime arrival);
+
   sim::Simulator& sim_;
   Nic* ends_[2];
   Params params_;
+  LinkImpairment impairment_;
   Tap tap_;
   Direction dir_[2];
   std::uint64_t dropped_{0};
   std::uint64_t corrupted_{0};
+  std::uint64_t duplicated_{0};
+  std::uint64_t reordered_{0};
   std::uint64_t delivered_{0};
   sim::Rng rng_;
 };
