@@ -15,7 +15,7 @@ using namespace neat::bench;
 
 namespace {
 
-void ablation_wake() {
+void ablation_wake(JsonWriter& json, std::string trace) {
   header("Ablation A: wake-up cost at light load (NEaT 1x, 8 connections, "
          "1 req/conn)");
   std::printf("%-28s %12s %14s\n", "wake latency (fast/kernel)", "kreq/s",
@@ -48,12 +48,17 @@ void ablation_wake() {
     std::printf("%9.0f / %-16.0f %12.1f %14.1f\n",
                 sim::to_micros(p.fast), sim::to_micros(p.kern), r.krps,
                 r.mean_latency_ms * 1000.0);
+    write_trace(tb.sim, trace);
+    trace.clear();  // trace only the first point
+    char tag[48];
+    std::snprintf(tag, sizeof(tag), "wake_%.0fus_", sim::to_micros(p.fast));
+    add_latency(json, tag, r);
   }
   std::printf("=> sleepy-component wake latency directly caps light-load "
               "throughput (the Figure 12 effect)\n");
 }
 
-void ablation_steering() {
+void ablation_steering(JsonWriter& json) {
   header("Ablation B: scale-down with vs without per-flow tracking filters");
   std::printf("%-26s %16s %16s\n", "NIC mode", "errors", "verdict");
   for (bool tracking : {true, false}) {
@@ -82,12 +87,15 @@ void ablation_steering() {
                 tracking ? "tracking filters" : "pure RSS",
                 (unsigned long long)errs,
                 errs == 0 ? "no conn broken" : "connections DIED");
+    json.add(std::string(tracking ? "tracking_" : "pure_rss_") +
+                 "scale_down_errors",
+             errs);
   }
   std::printf("=> without the NIC extension, re-steering moves live flows "
               "to the wrong replica (paper SS4)\n");
 }
 
-void ablation_tso() {
+void ablation_tso(JsonWriter& json) {
   header("Ablation C: TSO on/off, 1MB file transfers (Linux best config)");
   std::printf("%-10s %12s %14s\n", "TSO", "thpt [MB/s]", "mean lat [ms]");
   for (bool tso : {true, false}) {
@@ -104,12 +112,15 @@ void ablation_tso() {
     const auto res = run_linux(r);
     std::printf("%-10s %12.1f %14.1f\n", tso ? "on" : "off", res.mbps,
                 res.mean_latency_ms);
+    const std::string prefix = tso ? "tso_on_" : "tso_off_";
+    add_latency(json, prefix, res);
+    json.add(prefix + "mbps", res.mbps);
   }
   std::printf("=> TSO lets smaller configurations reach full 10Gb/s "
               "utilization (paper SS6)\n");
 }
 
-void ablation_delack() {
+void ablation_delack(JsonWriter& json) {
   header("Ablation D: delayed ACKs on/off (NEaT 2x, 20B requests)");
   std::printf("%-14s %12s %18s\n", "delayed ACK", "kreq/s",
               "pure ACKs/request");
@@ -142,16 +153,23 @@ void ablation_delack() {
     std::printf("%-14s %12.1f %18.2f\n", delack ? "on" : "off", res.krps,
                 static_cast<double>(acks) /
                     static_cast<double>(res.requests ? res.requests : 1));
+    const std::string prefix = delack ? "delack_on_" : "delack_off_";
+    add_latency(json, prefix, res);
+    json.add(prefix + "pure_acks_per_request",
+             static_cast<double>(acks) /
+                 static_cast<double>(res.requests ? res.requests : 1));
   }
   std::printf("=> immediate acking doubles the server's TX packet load\n");
 }
 
 }  // namespace
 
-int main() {
-  ablation_wake();
-  ablation_steering();
-  ablation_tso();
-  ablation_delack();
+int main(int argc, char** argv) {
+  JsonWriter json;
+  ablation_wake(json, trace_out_arg(argc, argv));
+  ablation_steering(json);
+  ablation_tso(json);
+  ablation_delack(json);
+  json.write("ablation_design_choices");
   return 0;
 }

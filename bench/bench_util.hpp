@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,35 @@ using namespace neat::harness;
 
 inline constexpr sim::SimTime kWarmup = 200 * sim::kMillisecond;
 inline constexpr sim::SimTime kMeasure = 300 * sim::kMillisecond;
+
+/// Parse `--trace-out=FILE` (or `--trace-out FILE`) from the command line;
+/// returns the empty string when the flag is absent. Every bench binary
+/// accepts this flag and dumps its flow trace as chrome://tracing JSON.
+inline std::string trace_out_arg(int argc, char** argv) {
+  const std::string flag = "--trace-out";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(flag + "=", 0) == 0) return a.substr(flag.size() + 1);
+    if (a == flag && i + 1 < argc) return argv[i + 1];
+  }
+  return {};
+}
+
+/// Write the simulator's flow trace to `path` (chrome://tracing JSON,
+/// loadable in chrome://tracing or ui.perfetto.dev). No-op on empty path.
+inline bool write_trace(sim::Simulator& sim, const std::string& path) {
+  if (path.empty()) return false;
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open trace output %s\n", path.c_str());
+    return false;
+  }
+  sim.tracer().write_chrome_json(f);
+  std::printf("wrote %s (%llu events, %llu emitted)\n", path.c_str(),
+              static_cast<unsigned long long>(sim.tracer().size()),
+              static_cast<unsigned long long>(sim.tracer().emitted()));
+  return true;
+}
 
 /// One full NEaT experiment: server machine + configuration -> RunResult.
 struct NeatRun {
@@ -34,6 +64,8 @@ struct NeatRun {
   std::uint64_t seed{12345};
   sim::SimTime warmup{kWarmup};
   sim::SimTime measure{kMeasure};
+  /// When non-empty, the run's flow trace is written here (chrome JSON).
+  std::string trace_out;
 };
 
 inline RunResult run_neat(const NeatRun& r) {
@@ -57,7 +89,9 @@ inline RunResult run_neat(const NeatRun& r) {
   co.path = r.path;
   ClientRig client = build_client(tb, co, r.webs);
   prepopulate_arp(server, client);
-  return run_window(tb, client, r.warmup, r.measure);
+  RunResult res = run_window(tb, client, r.warmup, r.measure);
+  write_trace(tb.sim, r.trace_out);
+  return res;
 }
 
 struct LinuxRun {
@@ -72,6 +106,7 @@ struct LinuxRun {
   std::uint64_t seed{12345};
   sim::SimTime warmup{kWarmup};
   sim::SimTime measure{kMeasure};
+  std::string trace_out;
 };
 
 inline RunResult run_linux(const LinuxRun& r) {
@@ -91,7 +126,9 @@ inline RunResult run_linux(const LinuxRun& r) {
   co.path = r.path;
   ClientRig client = build_client(tb, co, r.webs);
   prepopulate_arp(server, client);
-  return run_window(tb, client, r.warmup, r.measure);
+  RunResult res = run_window(tb, client, r.warmup, r.measure);
+  write_trace(tb.sim, r.trace_out);
+  return res;
 }
 
 /// Tiny machine-readable sidecar: accumulates key/value pairs and writes
@@ -141,6 +178,46 @@ class JsonWriter {
  private:
   std::vector<std::pair<std::string, std::string>> kv_;
 };
+
+/// Append the standard latency-percentile columns for one run under
+/// `prefix` (e.g. "neat3x_"). Every bench JSON carries these for its key
+/// runs so latency regressions are machine-visible, not just rate ones.
+inline void add_latency(JsonWriter& j, const std::string& prefix,
+                        const RunResult& r) {
+  j.add(prefix + "krps", r.krps);
+  j.add(prefix + "requests", r.requests);
+  j.add(prefix + "error_conns", r.error_conns);
+  j.add(prefix + "latency_mean_ms", r.mean_latency_ms);
+  j.add(prefix + "latency_p50_ms", r.p50_latency_ms);
+  j.add(prefix + "latency_p95_ms", r.p95_latency_ms);
+  j.add(prefix + "latency_p99_ms", r.p99_latency_ms);
+  j.add(prefix + "latency_p999_ms", r.p999_latency_ms);
+}
+
+/// Summarize a host's recovery log: detection, restart-complete and
+/// first-service latencies (ms percentiles). For benches that inject
+/// faults.
+inline void add_recovery(JsonWriter& j, const std::vector<RecoveryEvent>& log) {
+  obs::Histogram detect;
+  obs::Histogram recover;
+  obs::Histogram first;
+  for (const auto& ev : log) {
+    if (ev.detected_at > 0) detect.record(ev.detection_latency());
+    if (ev.recovered_at > 0) recover.record(ev.recovery_latency());
+    if (ev.first_service_at > 0) first.record(ev.first_service_latency());
+  }
+  const auto ms = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1e6;
+  };
+  j.add("recovery_events", static_cast<std::uint64_t>(log.size()));
+  j.add("recovery_detect_p50_ms", ms(detect.quantile(0.5)));
+  j.add("recovery_detect_p99_ms", ms(detect.quantile(0.99)));
+  j.add("recovery_restart_p50_ms", ms(recover.quantile(0.5)));
+  j.add("recovery_restart_p99_ms", ms(recover.quantile(0.99)));
+  j.add("recovery_first_service_observed", first.count());
+  j.add("recovery_first_service_p50_ms", ms(first.quantile(0.5)));
+  j.add("recovery_first_service_p99_ms", ms(first.quantile(0.99)));
+}
 
 inline void header(const char* title) {
   std::printf("\n================================================================\n");

@@ -4,6 +4,7 @@
 // cost change. Not one of the paper's tables itself.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "harness/testbed.hpp"
 
 using namespace neat;
@@ -13,6 +14,9 @@ namespace {
 
 constexpr sim::SimTime kWarmup = 200 * sim::kMillisecond;
 constexpr sim::SimTime kMeasure = 300 * sim::kMillisecond;
+
+/// Consumed by the first run when --trace-out is given.
+std::string g_trace;
 
 RunResult neat_amd(bool multi, int replicas, int webs) {
   Testbed::Config cfg;
@@ -28,7 +32,10 @@ RunResult neat_amd(bool multi, int replicas, int webs) {
   co.concurrency_per_gen = 24;
   ClientRig client = build_client(tb, co, webs);
   prepopulate_arp(server, client);
-  return run_window(tb, client, kWarmup, kMeasure);
+  RunResult res = run_window(tb, client, kWarmup, kMeasure);
+  bench::write_trace(tb.sim, g_trace);
+  g_trace.clear();
+  return res;
 }
 
 RunResult neat_xeon(bool multi, int replicas, int webs, bool ht) {
@@ -47,7 +54,10 @@ RunResult neat_xeon(bool multi, int replicas, int webs, bool ht) {
   co.concurrency_per_gen = 24;
   ClientRig client = build_client(tb, co, webs);
   prepopulate_arp(server, client);
-  return run_window(tb, client, kWarmup, kMeasure);
+  RunResult res = run_window(tb, client, kWarmup, kMeasure);
+  bench::write_trace(tb.sim, g_trace);
+  g_trace.clear();
+  return res;
 }
 
 RunResult linux_run(const sim::MachineParams& machine, int webs) {
@@ -63,27 +73,43 @@ RunResult linux_run(const sim::MachineParams& machine, int webs) {
   co.concurrency_per_gen = 24;
   ClientRig client = build_client(tb, co, webs);
   prepopulate_arp(server, client);
-  return run_window(tb, client, kWarmup, kMeasure);
+  RunResult res = run_window(tb, client, kWarmup, kMeasure);
+  bench::write_trace(tb.sim, g_trace);
+  g_trace.clear();
+  return res;
 }
 
-void row(const char* name, double paper, const RunResult& r) {
+bench::JsonWriter g_json;
+
+void row(const char* name, const char* slug, double paper,
+         const RunResult& r) {
   std::printf("%-28s paper=%6.1f krps   measured=%6.1f krps   errs=%llu\n",
               name, paper, r.krps, (unsigned long long)r.error_conns);
   std::fflush(stdout);
+  const std::string prefix = std::string(slug) + "_";
+  bench::add_latency(g_json, prefix, r);
+  g_json.add(prefix + "paper_krps", paper);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_trace = bench::trace_out_arg(argc, argv);
   std::printf("=== calibration: headline configurations ===\n");
-  row("AMD  Linux best (12 srv)", 224.0, linux_run(sim::amd_opteron_6168(), 12));
-  row("AMD  NEaT 3x, 6 webs", 302.0, neat_amd(false, 3, 6));
-  row("AMD  NEaT 2x, 5 webs", 250.0, neat_amd(false, 2, 5));
-  row("AMD  Multi 1x, 4 webs", 200.0, neat_amd(true, 1, 4));
-  row("AMD  Multi 2x, 5 webs", 250.0, neat_amd(true, 2, 5));
-  row("Xeon Linux best (16 srv)", 328.0, linux_run(sim::intel_xeon_e5520(), 16));
-  row("Xeon NEaT 4x HT, 9 webs", 372.0, neat_xeon(false, 4, 9, true));
-  row("Xeon Multi 1x, 4 webs", 240.0, neat_xeon(true, 1, 4, false));
-  row("Xeon Multi 2x HT, 8 webs", 322.0, neat_xeon(true, 2, 8, true));
+  row("AMD  Linux best (12 srv)", "amd_linux_best", 224.0,
+      linux_run(sim::amd_opteron_6168(), 12));
+  row("AMD  NEaT 3x, 6 webs", "amd_neat3x", 302.0, neat_amd(false, 3, 6));
+  row("AMD  NEaT 2x, 5 webs", "amd_neat2x", 250.0, neat_amd(false, 2, 5));
+  row("AMD  Multi 1x, 4 webs", "amd_multi1x", 200.0, neat_amd(true, 1, 4));
+  row("AMD  Multi 2x, 5 webs", "amd_multi2x", 250.0, neat_amd(true, 2, 5));
+  row("Xeon Linux best (16 srv)", "xeon_linux_best", 328.0,
+      linux_run(sim::intel_xeon_e5520(), 16));
+  row("Xeon NEaT 4x HT, 9 webs", "xeon_neat4x_ht", 372.0,
+      neat_xeon(false, 4, 9, true));
+  row("Xeon Multi 1x, 4 webs", "xeon_multi1x", 240.0,
+      neat_xeon(true, 1, 4, false));
+  row("Xeon Multi 2x HT, 8 webs", "xeon_multi2x_ht", 322.0,
+      neat_xeon(true, 2, 8, true));
+  g_json.write("calibration");
   return 0;
 }

@@ -17,8 +17,9 @@
 using namespace neat;
 using namespace neat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("Chaos campaign: randomized multi-fault schedule under load");
+  const std::string trace = trace_out_arg(argc, argv);
 
   Testbed::Config cfg;
   cfg.seed = 777;
@@ -65,11 +66,13 @@ int main() {
   std::uint64_t committed = 0;
   std::uint64_t error_conns = 0;
   std::uint64_t clean_conns = 0;
+  obs::Histogram latency;
   for (const auto& g : client.gens) {
     mismatches += g->report().payload_mismatches;
     committed += g->report().committed_requests;
     error_conns += g->report().error_conns;
     clean_conns += g->report().clean_conns;
+    latency.merge(g->report().latency);
   }
 
   // Aggregate server-side robustness counters.
@@ -151,8 +154,16 @@ int main() {
   json.add("error_conns", error_conns);
   json.add("payload_mismatches", mismatches);
   json.add("invariant_violations", rep.violations.size());
+  json.add("latency_mean_ms", latency.mean() / 1e6);
+  json.add("latency_p50_ms", static_cast<double>(latency.quantile(0.50)) / 1e6);
+  json.add("latency_p95_ms", static_cast<double>(latency.quantile(0.95)) / 1e6);
+  json.add("latency_p99_ms", static_cast<double>(latency.quantile(0.99)) / 1e6);
+  json.add("latency_p999_ms",
+           static_cast<double>(latency.quantile(0.999)) / 1e6);
+  add_recovery(json, server.neat->recovery_log());
   json.add("passed", ok);
   json.write("ext_chaos");
 
+  write_trace(tb.sim, trace);
   return ok ? 0 : 1;
 }

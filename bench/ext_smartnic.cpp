@@ -9,20 +9,23 @@
 using namespace neat;
 using namespace neat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("Extension: programmable-NIC offload (SS4) — freeing the driver "
          "core");
+  std::string trace = trace_out_arg(argc, argv);
+  JsonWriter json;
 
   struct Row {
     const char* label;
+    const char* slug;
     bool offload;
     int webs;
   };
   // Baseline: classic layout, 6 webs. Offload: the driver core (core 2)
   // hosts a 7th web because the NIC runs the data plane.
   const Row rows[] = {
-      {"driver process (classic)", false, 6},
-      {"NIC runs data plane, +1 web", true, 7},
+      {"driver process (classic)", "classic", false, 6},
+      {"NIC runs data plane, +1 web", "offload", true, 7},
   };
 
   std::printf("%-30s %12s %14s\n", "mode", "kreq/s", "driver fwd pkts");
@@ -50,7 +53,14 @@ int main() {
                 (unsigned long long)
                     server.neat->driver().driver_stats().rx_forwarded);
     std::fflush(stdout);
+    write_trace(tb.sim, trace);
+    trace.clear();  // trace only the first row
+    const std::string prefix = std::string(row.slug) + "_";
+    add_latency(json, prefix, r);
+    json.add(prefix + "driver_rx_forwarded",
+             server.neat->driver().driver_stats().rx_forwarded);
   }
+  json.write("ext_smartnic");
   std::printf("\n=> the freed driver core converts into one more "
               "application instance's worth of throughput (~50 krps on "
               "this machine)\n");

@@ -14,19 +14,23 @@
 using namespace neat;
 using namespace neat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("Extension: stateful recovery via checkpointing — the paper's "
          "discussed trade-off, measured");
+  std::string trace = trace_out_arg(argc, argv);
+  JsonWriter json;
+  std::vector<RecoveryEvent> all_events;
 
   struct Row {
     const char* label;
+    const char* slug;
     sim::SimTime interval;
   };
   const Row rows[] = {
-      {"stateless (paper default)", 0},
-      {"checkpoint every 50 ms", 50 * sim::kMillisecond},
-      {"checkpoint every 5 ms", 5 * sim::kMillisecond},
-      {"checkpoint every 500 us", 500 * sim::kMicrosecond},
+      {"stateless (paper default)", "stateless", 0},
+      {"checkpoint every 50 ms", "ckpt50ms", 50 * sim::kMillisecond},
+      {"checkpoint every 5 ms", "ckpt5ms", 5 * sim::kMillisecond},
+      {"checkpoint every 500 us", "ckpt500us", 500 * sim::kMicrosecond},
   };
 
   std::printf("%-28s %12s %14s %16s\n", "recovery strategy", "kreq/s",
@@ -66,7 +70,22 @@ int main() {
                 (unsigned long long)(errors_after - errors_before),
                 (unsigned long long)ev.connections_restored);
     std::fflush(stdout);
+    write_trace(tb.sim, trace);
+    trace.clear();  // trace only the first row
+    const auto& log = server.neat->recovery_log();
+    all_events.insert(all_events.end(), log.begin(), log.end());
+    const std::string prefix = std::string(row.slug) + "_";
+    json.add(prefix + "krps", agg.krps);
+    json.add(prefix + "conns_lost", errors_after - errors_before);
+    json.add(prefix + "conns_restored", ev.connections_restored);
+    json.add(prefix + "latency_mean_ms", agg.mean_latency_ms);
+    json.add(prefix + "latency_p50_ms", agg.p50_latency_ms);
+    json.add(prefix + "latency_p95_ms", agg.p95_latency_ms);
+    json.add(prefix + "latency_p99_ms", agg.p99_latency_ms);
+    json.add(prefix + "latency_p999_ms", agg.p999_latency_ms);
   }
+  add_recovery(json, all_events);
+  json.write("ext_stateful_recovery");
   std::printf("\n=> tighter checkpoint intervals save more connections and "
               "cost more throughput — the paper's reliability/performance "
               "trade-off, quantified. NEaT's replicated stateless design "

@@ -9,18 +9,21 @@
 using namespace neat;
 using namespace neat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("Figure 11: Xeon - scaling the single-component stack [kreq/s]");
+  std::string trace = trace_out_arg(argc, argv);
+  JsonWriter json;
 
   struct Series {
     const char* name;
+    const char* slug;
     int replicas;
     bool ht;
   };
   const Series series[] = {
-      {"NEaT 1x", 1, false},  {"NEaT 1x HT", 1, true},
-      {"NEaT 2x", 2, false},  {"NEaT 2x HT", 2, true},
-      {"NEaT 4x HT", 4, true},
+      {"NEaT 1x", "neat1x", 1, false},  {"NEaT 1x HT", "neat1x_ht", 1, true},
+      {"NEaT 2x", "neat2x", 2, false},  {"NEaT 2x HT", "neat2x_ht", 2, true},
+      {"NEaT 4x HT", "neat4x_ht", 4, true},
   };
   const int xs[] = {1, 2, 3, 4, 5, 8, 9};
 
@@ -56,6 +59,8 @@ int main() {
       const auto res = run_neat(r);
       std::printf(" %11.1f", res.krps);
       std::fflush(stdout);
+      json.add(std::string(s.slug) + "_w" + std::to_string(webs) + "_krps",
+               res.krps);
     }
     std::printf("\n");
   }
@@ -71,6 +76,7 @@ int main() {
   best.webs = 9;
   best.use_xeon_placement = true;
   best.xeon_ht = true;
+  best.trace_out = trace;
   const auto neat4 = run_neat(best);
 
   std::printf("\nLinux best (16 lighttpd): %.1f krps (paper: 328)\n",
@@ -79,5 +85,8 @@ int main() {
               neat4.krps);
   std::printf("NEaT advantage: %+.1f%% (paper: +13.4%%)\n",
               (neat4.krps / lin.krps - 1.0) * 100.0);
+  add_latency(json, "linux_best_", lin);
+  add_latency(json, "neat4x_ht_best_", neat4);
+  json.write("fig11_xeon_single");
   return 0;
 }

@@ -14,27 +14,33 @@
 using namespace neat;
 using namespace neat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("Figure 12: AMD - configurations under 1-request-per-connection "
          "load [kreq/s]");
+  std::string trace = trace_out_arg(argc, argv);
+  JsonWriter json;
 
   struct Config {
     const char* name;
+    const char* slug;
     bool multi;
     int replicas;
   };
   const Config configs[] = {
-      {"NEaT 1x", false, 1}, {"NEaT 2x", false, 2}, {"NEaT 3x", false, 3},
-      {"Multi 1x", true, 1}, {"Multi 2x", true, 2},
+      {"NEaT 1x", "neat1x", false, 1}, {"NEaT 2x", "neat2x", false, 2},
+      {"NEaT 3x", "neat3x", false, 3}, {"Multi 1x", "multi1x", true, 1},
+      {"Multi 2x", "multi2x", true, 2},
   };
   struct Point {
     const char* label;
+    const char* slug;
     int webs;
     std::size_t total_conns;
   };
   const Point points[] = {
-      {"8", 1, 8},        {"16", 1, 16},      {"32", 1, 32},
-      {"64", 1, 64},      {"2srv,32", 2, 32}, {"4srv,64", 4, 64},
+      {"8", "c8", 1, 8},           {"16", "c16", 1, 16},
+      {"32", "c32", 1, 32},        {"64", "c64", 1, 64},
+      {"2srv,32", "s2c32", 2, 32}, {"4srv,64", "s4c64", 4, 64},
   };
 
   std::printf("%-10s", "point");
@@ -51,12 +57,21 @@ int main() {
       r.requests_per_conn = 1;  // the modified single-request test
       r.generators = p.webs;
       r.concurrency_per_gen = p.total_conns / static_cast<std::size_t>(p.webs);
+      r.trace_out = trace;
+      trace.clear();  // trace only the first run
       const auto res = run_neat(r);
       std::printf(" %9.1f", res.krps);
       std::fflush(stdout);
+      const std::string prefix =
+          std::string(c.slug) + "_" + p.slug + "_";
+      json.add(prefix + "krps", res.krps);
+      // Latency matters most at the light-load points (the figure's whole
+      // story is wake-up latency): full percentiles for the 8-conn column.
+      if (p.total_conns == 8) add_latency(json, prefix, res);
     }
     std::printf("\n");
   }
+  json.write("fig12_config_compare");
   std::printf("\npaper landmark: at 8 connections Multi 1x > Multi 2x "
               "(sleep/wake latency); at 4srv,64 all multi-replica configs "
               "beat single-replica ones\n");

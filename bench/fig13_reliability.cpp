@@ -36,25 +36,28 @@ double p_state_loss_per_fault(bool multi) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("Figure 13: expected % of state preserved after a failure vs max "
          "throughput (Xeon)");
+  std::string trace = trace_out_arg(argc, argv);
+  JsonWriter json;
 
   struct Config {
     const char* name;
+    const char* slug;
     bool multi;
     int replicas;
     bool ht;
     int webs;  // enough instances to reach the configuration's peak
   };
   const Config configs[] = {
-      {"NEaT 1x  (1 core)", false, 1, false, 8},
-      {"Multi 1x (2 cores)", true, 1, false, 4},
-      {"NEaT 2x  (2 cores)", false, 2, false, 6},
-      {"NEaT 3x  (3 cores)", false, 3, false, 5},
-      {"Multi 2x (4 cores)", true, 2, false, 4},
-      {"Multi 2x (2c/4t HT)", true, 2, true, 8},
-      {"NEaT 4x  (2c/4t HT)", false, 4, true, 9},
+      {"NEaT 1x  (1 core)", "neat1x", false, 1, false, 8},
+      {"Multi 1x (2 cores)", "multi1x", true, 1, false, 4},
+      {"NEaT 2x  (2 cores)", "neat2x", false, 2, false, 6},
+      {"NEaT 3x  (3 cores)", "neat3x", false, 3, false, 5},
+      {"Multi 2x (4 cores)", "multi2x", true, 2, false, 4},
+      {"Multi 2x (2c/4t HT)", "multi2x_ht", true, 2, true, 8},
+      {"NEaT 4x  (2c/4t HT)", "neat4x_ht", false, 4, true, 9},
   };
 
   std::printf("%-22s %18s %22s\n", "configuration", "max kreq/s",
@@ -67,13 +70,19 @@ int main() {
     r.webs = c.webs;
     r.use_xeon_placement = true;
     r.xeon_ht = c.ht;
+    r.trace_out = trace;
+    trace.clear();  // trace only the first configuration
     const auto res = run_neat(r);
     const double preserved =
         1.0 - p_state_loss_per_fault(c.multi) / c.replicas;
     std::printf("%-22s %18.1f %21.1f%%\n", c.name, res.krps,
                 100.0 * preserved);
     std::fflush(stdout);
+    const std::string prefix = std::string(c.slug) + "_";
+    add_latency(json, prefix, res);
+    json.add(prefix + "state_preserved_pct", 100.0 * preserved);
   }
+  json.write("fig13_reliability");
   std::printf("\npaper shape: both axes increase with replica count; multi-"
               "component configs sit higher on reliability, single-component"
               " higher on throughput per core\n");

@@ -9,9 +9,11 @@
 using namespace neat;
 using namespace neat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("Figures 4+5: Linux optimal config - latency/requests/throughput "
          "vs file size");
+  std::string trace = trace_out_arg(argc, argv);
+  JsonWriter json;
 
   struct Size {
     const char* label;
@@ -42,13 +44,19 @@ int main() {
     } else {
       r.concurrency_per_gen = 24;
     }
+    r.trace_out = trace;
+    trace.clear();  // trace only the first run
     const auto res = run_linux(r);
     std::printf("%-6s %12.1f %12.2f %14.1f %14.1f %8llu\n", s.label,
                 res.krps, res.mean_latency_ms,
                 static_cast<double>(res.requests) / 1000.0, res.mbps,
                 (unsigned long long)res.error_conns);
     std::fflush(stdout);
+    const std::string prefix = std::string("linux_") + s.label + "_";
+    add_latency(json, prefix, res);
+    json.add(prefix + "mbps", res.mbps);
   }
+  json.write("fig4_5_filesize");
   std::printf("\npaper landmarks: request rate flat until ~1K, link "
               "saturates (~1.2 GB/s) above ~7KB, latency explodes for "
               ">=100K files, errors appear at saturation\n");

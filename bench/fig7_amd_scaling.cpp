@@ -12,19 +12,22 @@
 using namespace neat;
 using namespace neat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("Figure 7: AMD - scaling lighttpd and the network stack [kreq/s]");
+  std::string trace = trace_out_arg(argc, argv);
+  JsonWriter json;
 
   struct Series {
     const char* name;
+    const char* slug;
     bool multi;
     int replicas;
   };
   const Series series[] = {
-      {"Multi 1x", true, 1},
-      {"Multi 2x", true, 2},
-      {"NEaT 2x", false, 2},
-      {"NEaT 3x", false, 3},
+      {"Multi 1x", "multi1x", true, 1},
+      {"Multi 2x", "multi2x", true, 2},
+      {"NEaT 2x", "neat2x", false, 2},
+      {"NEaT 3x", "neat3x", false, 3},
   };
 
   std::printf("%-10s", "webs");
@@ -47,6 +50,8 @@ int main() {
       const auto res = run_neat(r);
       std::printf(" %10.1f", res.krps);
       std::fflush(stdout);
+      json.add(std::string(s.slug) + "_w" + std::to_string(webs) + "_krps",
+               res.krps);
     }
     std::printf("\n");
   }
@@ -61,8 +66,12 @@ int main() {
   NeatRun best;
   best.replicas = 3;
   best.webs = 6;
+  best.trace_out = trace;
   const auto neat3 = run_neat(best);
   std::printf("NEaT 3x advantage over Linux: %+.1f%% (paper: +34.8%%)\n",
               (neat3.krps / lin.krps - 1.0) * 100.0);
+  add_latency(json, "linux_best_", lin);
+  add_latency(json, "neat3x_best_", neat3);
+  json.write("fig7_amd_scaling");
   return 0;
 }

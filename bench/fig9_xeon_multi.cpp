@@ -11,18 +11,21 @@
 using namespace neat;
 using namespace neat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("Figure 9: Xeon - scaling the multi-component stack [kreq/s]");
+  std::string trace = trace_out_arg(argc, argv);
+  JsonWriter json;
 
   struct Series {
     const char* name;
+    const char* slug;
     int replicas;
     bool ht;
   };
   const Series series[] = {
-      {"Multi 1x", 1, false},
-      {"Multi 2x", 2, false},
-      {"Multi 2x HT", 2, true},
+      {"Multi 1x", "multi1x", 1, false},
+      {"Multi 2x", "multi2x", 2, false},
+      {"Multi 2x HT", "multi2x_ht", 2, true},
   };
   const int xs[] = {1, 2, 3, 4, 6, 8};
 
@@ -47,12 +50,19 @@ int main() {
       r.webs = webs;
       r.use_xeon_placement = true;
       r.xeon_ht = s.ht;
+      // Trace the paper's headline point: Multi 2x HT at 8 instances.
+      if (s.ht && webs == 8) r.trace_out = trace;
       const auto res = run_neat(r);
       std::printf(" %12.1f", res.krps);
       std::fflush(stdout);
+      const std::string prefix =
+          std::string(s.slug) + "_w" + std::to_string(webs) + "_";
+      json.add(prefix + "krps", res.krps);
+      if (s.ht && webs == 8) add_latency(json, "multi2x_ht_peak_", res);
     }
     std::printf("\n");
   }
+  json.write("fig9_xeon_multi");
   std::printf("\npaper landmarks: Multi 1x peaks at 4 webs (~240); "
               "Multi 2x HT peaks at 8 webs (~322)\n");
   return 0;

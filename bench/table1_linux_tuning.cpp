@@ -15,21 +15,23 @@ using namespace neat::bench;
 
 namespace {
 
-RunResult with(baseline::LinuxTuning t) {
+RunResult with(baseline::LinuxTuning t, const std::string& trace = {}) {
   LinuxRun r;
   r.tuning = t;
   r.webs = 12;
   r.requests_per_conn = 1000;  // Table 1 used 1000 requests per connection
+  r.trace_out = trace;
   return run_linux(r);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("Table 1: request rate breakdown per Linux option tuned (AMD)");
+  const std::string trace = trace_out_arg(argc, argv);
 
   baseline::LinuxTuning t;  // defaults
-  const auto defaults = with(t);
+  const auto defaults = with(t, trace);
 
   t.deadline_sched = true;
   t.tso = true;
@@ -61,5 +63,14 @@ int main() {
   std::printf("\nshape checks: defaults < rxAff-without-serv < +serv : %s\n",
               (defaults.krps < rx.krps && rx.krps < serv.krps) ? "PASS"
                                                                : "FAIL");
+
+  JsonWriter json;
+  add_latency(json, "defaults_", defaults);
+  add_latency(json, "sched_eth_", sched_eth);
+  add_latency(json, "irq_", irq);
+  add_latency(json, "rx_", rx);
+  add_latency(json, "serv_", serv);
+  add_latency(json, "rfs_", rfs);
+  json.write("table1_linux_tuning");
   return 0;
 }

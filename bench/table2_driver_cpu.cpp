@@ -25,8 +25,10 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   header("Table 2: 10G driver CPU usage breakdown (Xeon, 3 replicas)");
+  std::string trace = trace_out_arg(argc, argv);
+  JsonWriter json;
 
   const Row rows[] = {
       {3.0, 1, 3 * sim::kMillisecond},
@@ -75,7 +77,25 @@ int main() {
                 active > 0 ? 100.0 * poll / active : 0.0, agg.krps,
                 row.target_krps);
     std::fflush(stdout);
+    write_trace(tb.sim, trace);
+    trace.clear();  // trace only the first row
+
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "target%.0f_", row.target_krps);
+    const std::string prefix = tag;
+    json.add(prefix + "cpu_load_pct", 100.0 * active / budget);
+    json.add(prefix + "kernel_pct",
+             active > 0 ? 100.0 * kern / active : 0.0);
+    json.add(prefix + "polling_pct",
+             active > 0 ? 100.0 * poll / active : 0.0);
+    json.add(prefix + "krps", agg.krps);
+    json.add(prefix + "latency_mean_ms", agg.mean_latency_ms);
+    json.add(prefix + "latency_p50_ms", agg.p50_latency_ms);
+    json.add(prefix + "latency_p95_ms", agg.p95_latency_ms);
+    json.add(prefix + "latency_p99_ms", agg.p99_latency_ms);
+    json.add(prefix + "latency_p999_ms", agg.p999_latency_ms);
   }
+  json.write("table2_driver_cpu");
   std::printf("\npaper shape: CPU load grows sharply then levels off; the "
               "kernel and polling shares shrink as load rises\n");
   return 0;

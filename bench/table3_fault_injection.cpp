@@ -13,8 +13,9 @@
 using namespace neat;
 using namespace neat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   header("Table 3: fault injection (100 failing runs, multi-component)");
+  std::string trace = trace_out_arg(argc, argv);
 
   int transparent = 0;
   int tcp_lost = 0;
@@ -24,6 +25,8 @@ int main() {
   std::uint64_t restarts_total = 0;
   std::uint64_t retransmits_total = 0;
   double detection_ms_total = 0.0;
+  obs::Histogram all_latency;  // client request latency across all runs
+  std::vector<RecoveryEvent> all_events;
   const int kRuns = 100;
 
   for (int run = 0; run < kRuns; ++run) {
@@ -74,6 +77,11 @@ int main() {
     for (std::size_t i = 0; i < server.neat->replica_count(); ++i) {
       retransmits_total += server.neat->replica(i).tcp().stats().retransmits;
     }
+    for (const auto& g : client.gens) all_latency.merge(g->report().latency);
+    const auto& log = server.neat->recovery_log();
+    all_events.insert(all_events.end(), log.begin(), log.end());
+    write_trace(tb.sim, trace);
+    trace.clear();  // trace only the first run
   }
 
   std::printf("%-34s %8s %8s\n", "", "paper", "measured");
@@ -109,6 +117,16 @@ int main() {
                : 0.0);
   json.add("restarts", restarts_total);
   json.add("tcp_retransmits", retransmits_total);
+  json.add("latency_mean_ms", all_latency.mean() / 1e6);
+  json.add("latency_p50_ms",
+           static_cast<double>(all_latency.quantile(0.50)) / 1e6);
+  json.add("latency_p95_ms",
+           static_cast<double>(all_latency.quantile(0.95)) / 1e6);
+  json.add("latency_p99_ms",
+           static_cast<double>(all_latency.quantile(0.99)) / 1e6);
+  json.add("latency_p999_ms",
+           static_cast<double>(all_latency.quantile(0.999)) / 1e6);
+  add_recovery(json, all_events);
   json.write("table3_fault_injection");
   return 0;
 }

@@ -85,6 +85,6 @@ int main() {
   std::uint64_t reqs = client.gens[0]->report().committed_requests;
   std::printf("\nrequests completed: %llu, mean latency %.1f us\n",
               (unsigned long long)reqs,
-              client.gens[0]->report().latency.mean_ns() / 1000.0);
+              client.gens[0]->report().latency.mean() / 1000.0);
   return reqs == 1 ? 0 : 1;
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 build + test cycle, then a sanitizer pass
+# over the suites where lifetime bugs hide (IPC teardown, observability
+# ring/export, chaos supervision).
+#
+# Usage: scripts/check.sh [--skip-sanitize]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier 1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--skip-sanitize" ]]; then
+  echo "== sanitizer pass skipped =="
+  exit 0
+fi
+
+echo "== sanitizer pass: ASan+UBSan on test_ipc / test_obs / test_chaos =="
+cmake -B build-asan -S . -DNEAT_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$JOBS" --target test_ipc test_obs test_chaos
+./build-asan/tests/test_ipc
+./build-asan/tests/test_obs
+./build-asan/tests/test_chaos
+
+echo "== all checks passed =="

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/simulator.hpp"
+
 namespace neat::apps {
 
 using socklib::CloseReason;
@@ -59,7 +61,10 @@ void HttpServer::on_readable(Fd fd) {
       const std::size_t n = api_->recv(fd, buf);
       if (n == 0) break;
       auto reqs = c.parser.feed({buf, n});
-      for (auto& r : reqs) c.queue.push_back(std::move(r));
+      for (auto& r : reqs) {
+        c.queue.push_back(std::move(r));
+        c.queue_at.push_back(sim().now());
+      }
     }
     if (c.parser.error()) {
       api_->close(fd);
@@ -84,11 +89,13 @@ void HttpServer::serve_next(Fd fd) {
 
   const HttpRequest req = c.queue.front();
   c.queue.erase(c.queue.begin());
+  const sim::SimTime arrived_at = c.queue_at.front();
+  c.queue_at.erase(c.queue_at.begin());
   const std::vector<std::uint8_t>* body = files_.lookup(req.path);
   const std::size_t body_size = body ? body->size() : 0;
 
   post(costs_.respond + costs_.per_16_bytes * (body_size / 16),
-       [this, fd, req, body] {
+       [this, fd, req, body, arrived_at] {
          auto cit = conns_.find(fd);
          if (cit == conns_.end()) return;
          Conn& c = cit->second;
@@ -97,6 +104,13 @@ void HttpServer::serve_next(Fd fd) {
          if (body != nullptr) {
            c.out = build_response(200, *body, req.keep_alive);
            ++stats_.requests;
+           const sim::SimTime lat = sim().now() - arrived_at;
+           if (req_latency_ == nullptr) {
+             req_latency_ = &sim().metrics().histogram("http.request_latency_ns");
+           }
+           req_latency_->record(lat);
+           sim().tracer().emit(
+               {arrived_at, lat ? lat : 1, "http", "request_served", 0, fd, ""});
          } else {
            c.out = build_error_response(404);
            ++stats_.not_found;

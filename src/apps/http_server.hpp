@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "apps/http.hpp"
+#include "obs/metrics.hpp"
 #include "sim/process.hpp"
 #include "socklib/socket_api.hpp"
 
@@ -68,6 +69,7 @@ class HttpServer : public sim::Process {
     bool closing{false};
     bool respond_pending{0};
     std::vector<HttpRequest> queue;  // pipelined/waiting requests
+    std::vector<sim::SimTime> queue_at;  // arrival stamp per queued request
   };
 
   void accept_loop();
@@ -83,6 +85,7 @@ class HttpServer : public sim::Process {
   std::unique_ptr<socklib::SocketApi> api_;
   socklib::Fd listen_fd_{socklib::kBadFd};
   std::unordered_map<socklib::Fd, Conn> conns_;
+  obs::Histogram* req_latency_{nullptr};
 };
 
 }  // namespace neat::apps

@@ -125,7 +125,13 @@ void LoadGen::on_readable(Fd fd) {
       if (!c.request_outstanding) break;
       c.request_outstanding = false;
       if (c.parser.last_status() != 200) ++report_.bad_status;
-      report_.latency.add(sim().now() - c.request_sent_at);
+      const sim::SimTime lat = sim().now() - c.request_sent_at;
+      report_.latency.record(lat);
+      if (global_latency_ == nullptr) {
+        global_latency_ =
+            &sim().metrics().histogram("loadgen.request_latency_ns");
+      }
+      global_latency_->record(lat);
       ++c.completed;
       // Count optimistically; if the connection later errors, its window
       // contribution is dismissed (httperf semantics) in on_closed().

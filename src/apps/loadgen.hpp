@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "apps/http.hpp"
+#include "obs/metrics.hpp"
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -56,7 +57,9 @@ class LoadGen : public sim::Process {
     std::uint64_t payload_mismatches{0};
     /// Error connections broken down by CloseReason (indexed by enum).
     std::array<std::uint64_t, 5> errors_by_reason{};
-    sim::LatencyHistogram latency;  ///< per-response latency
+    /// Per-response latency. A mergeable log-linear histogram so the
+    /// harness can fold all generators into one percentile report.
+    obs::Histogram latency;
   };
 
   LoadGen(sim::Simulator& sim, std::string name, Config config);
@@ -94,6 +97,7 @@ class LoadGen : public sim::Process {
 
   Config config_;
   Report report_;
+  obs::Histogram* global_latency_{nullptr};  ///< all-window registry copy
   std::unique_ptr<socklib::SocketApi> api_;
   std::unordered_map<socklib::Fd, Conn> conns_;
   std::uint64_t conns_started_{0};

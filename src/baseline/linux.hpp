@@ -154,6 +154,7 @@ class LinuxHost : public net::TcpEnv {
   std::uint32_t random_u32() override {
     return static_cast<std::uint32_t>(rng_());
   }
+  obs::Hub* obs_hub() override { return &sim_.obs(); }
 
   /// Charge shared-state costs for one kernel operation on `core`:
   /// uncontended lock cost + contention + cache-line transfers.

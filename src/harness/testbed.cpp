@@ -274,28 +274,28 @@ void ClientRig::mark() {
 
 ClientRig::Aggregate ClientRig::aggregate(sim::SimTime window) const {
   Aggregate a;
-  double lat_weighted = 0.0;
-  double p99_max = 0.0;
-  std::uint64_t lat_n = 0;
   std::uint64_t bytes = 0;
+  // Merge the per-generator histograms so the percentiles come from one
+  // combined distribution (max-of-p99s across generators is not a p99).
+  obs::Histogram merged;
   for (const auto& g : gens) {
     const auto& r = g->report();
     a.requests += r.committed_requests;
     bytes += r.committed_bytes;
     a.error_conns += r.error_conns;
     a.clean_conns += r.clean_conns;
-    lat_weighted += r.latency.mean_ns() *
-                    static_cast<double>(r.latency.count());
-    lat_n += r.latency.count();
-    p99_max = std::max(p99_max, r.latency.quantile_ns(0.99));
+    merged.merge(r.latency);
   }
   const double secs = sim::to_seconds(window);
   if (secs > 0) {
     a.krps = static_cast<double>(a.requests) / secs / 1000.0;
     a.mbps = static_cast<double>(bytes) / secs / 1e6;
   }
-  if (lat_n > 0) a.mean_latency_ms = lat_weighted / lat_n / 1e6;
-  a.p99_latency_ms = p99_max / 1e6;
+  a.mean_latency_ms = merged.mean() / 1e6;
+  a.p50_latency_ms = static_cast<double>(merged.quantile(0.50)) / 1e6;
+  a.p95_latency_ms = static_cast<double>(merged.quantile(0.95)) / 1e6;
+  a.p99_latency_ms = static_cast<double>(merged.quantile(0.99)) / 1e6;
+  a.p999_latency_ms = static_cast<double>(merged.quantile(0.999)) / 1e6;
   return a;
 }
 
@@ -313,7 +313,10 @@ RunResult run_window(Testbed& tb, ClientRig& client, sim::SimTime warmup,
   r.krps = agg.krps;
   r.mbps = agg.mbps;
   r.mean_latency_ms = agg.mean_latency_ms;
+  r.p50_latency_ms = agg.p50_latency_ms;
+  r.p95_latency_ms = agg.p95_latency_ms;
   r.p99_latency_ms = agg.p99_latency_ms;
+  r.p999_latency_ms = agg.p999_latency_ms;
   r.requests = agg.requests;
   r.error_conns = agg.error_conns;
   r.clean_conns = agg.clean_conns;

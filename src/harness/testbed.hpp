@@ -151,7 +151,10 @@ struct ClientRig {
     double krps{0.0};
     double mbps{0.0};
     double mean_latency_ms{0.0};
+    double p50_latency_ms{0.0};
+    double p95_latency_ms{0.0};
     double p99_latency_ms{0.0};
+    double p999_latency_ms{0.0};
     std::uint64_t requests{0};
     std::uint64_t error_conns{0};
     std::uint64_t clean_conns{0};
@@ -171,7 +174,10 @@ struct RunResult {
   double krps{0.0};
   double mbps{0.0};
   double mean_latency_ms{0.0};
+  double p50_latency_ms{0.0};
+  double p95_latency_ms{0.0};
   double p99_latency_ms{0.0};
+  double p999_latency_ms{0.0};
   std::uint64_t requests{0};
   std::uint64_t error_conns{0};
   std::uint64_t clean_conns{0};

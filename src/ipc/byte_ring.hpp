@@ -31,14 +31,18 @@ class ByteRing {
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] bool full() const { return size_ == capacity_; }
 
-  /// Copy as much of `src` in as fits; returns bytes written.
+  /// Copy as much of `src` in as fits; returns bytes written. At most two
+  /// memcpy segments: [tail, min(end, tail+n)) and the wrap onto [0, rest).
   std::size_t write(std::span<const std::uint8_t> src) {
     if (buf_.empty() && !src.empty()) buf_.resize(capacity_);
     const std::size_t n = std::min(src.size(), writable());
-    for (std::size_t i = 0; i < n; ++i) {
-      buf_[(head_ + size_ + i) % buf_.size()] = src[i];
-    }
+    if (n == 0) return 0;
+    const std::size_t tail = (head_ + size_) % capacity_;
+    const std::size_t first = std::min(n, capacity_ - tail);
+    std::memcpy(buf_.data() + tail, src.data(), first);
+    if (n > first) std::memcpy(buf_.data(), src.data() + first, n - first);
     size_ += n;
+    high_water_ = std::max(high_water_, size_);
     total_in_ += n;
     return n;
   }
@@ -54,12 +58,8 @@ class ByteRing {
 
   /// Copy up to dst.size() bytes out; returns bytes read.
   std::size_t read(std::span<std::uint8_t> dst) {
-    if (buf_.empty()) return 0;
-    const std::size_t n = std::min(dst.size(), readable());
-    for (std::size_t i = 0; i < n; ++i) {
-      dst[i] = buf_[(head_ + i) % buf_.size()];
-    }
-    head_ = (head_ + n) % buf_.size();
+    const std::size_t n = copy_out(0, dst);
+    head_ = (head_ + n) % capacity_;
     size_ -= n;
     total_out_ += n;
     return n;
@@ -68,22 +68,12 @@ class ByteRing {
   /// Copy bytes starting `offset` into the readable region, without
   /// consuming (TCP retransmission reads unacked data at an offset).
   std::size_t peek_at(std::size_t offset, std::span<std::uint8_t> dst) const {
-    if (buf_.empty() || offset >= readable()) return 0;
-    const std::size_t n = std::min(dst.size(), readable() - offset);
-    for (std::size_t i = 0; i < n; ++i) {
-      dst[i] = buf_[(head_ + offset + i) % buf_.size()];
-    }
-    return n;
+    return copy_out(offset, dst);
   }
 
   /// Copy up to `n` bytes without consuming them.
   std::size_t peek(std::span<std::uint8_t> dst) const {
-    if (buf_.empty()) return 0;
-    const std::size_t n = std::min(dst.size(), readable());
-    for (std::size_t i = 0; i < n; ++i) {
-      dst[i] = buf_[(head_ + i) % buf_.size()];
-    }
-    return n;
+    return copy_out(0, dst);
   }
 
   /// Drop up to n bytes; returns bytes dropped.
@@ -104,12 +94,29 @@ class ByteRing {
 
   [[nodiscard]] std::uint64_t total_in() const { return total_in_; }
   [[nodiscard]] std::uint64_t total_out() const { return total_out_; }
+  /// Largest occupancy ever reached (queue-pressure diagnostics).
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
 
  private:
+  /// Shared tail of read/peek/peek_at: copy up to dst.size() bytes starting
+  /// `offset` into the readable region, in at most two memcpy segments.
+  std::size_t copy_out(std::size_t offset,
+                       std::span<std::uint8_t> dst) const {
+    if (buf_.empty() || offset >= size_) return 0;
+    const std::size_t n = std::min(dst.size(), size_ - offset);
+    if (n == 0) return 0;
+    const std::size_t pos = (head_ + offset) % capacity_;
+    const std::size_t first = std::min(n, capacity_ - pos);
+    std::memcpy(dst.data(), buf_.data() + pos, first);
+    if (n > first) std::memcpy(dst.data() + first, buf_.data(), n - first);
+    return n;
+  }
+
   std::size_t capacity_;
   std::vector<std::uint8_t> buf_;  // empty until first write
   std::size_t head_{0};
   std::size_t size_{0};
+  std::size_t high_water_{0};
   std::uint64_t total_in_{0};
   std::uint64_t total_out_{0};
 };

@@ -5,11 +5,27 @@
 // the consumer is charged a per-message CPU cost when it dequeues. A full
 // channel drops the message — exactly like a full NIC ring or a full MINIX
 // asynsend slot — and the upper layers (TCP) are responsible for recovery.
+//
+// Accounting invariant: once the simulation has quiesced (no message still
+// inside its transfer latency), every message ever sent is classified as
+// exactly one of delivered / dropped_full / dropped_dead:
+//
+//     sent == delivered + dropped_full + dropped_dead
+//
+// "Delivered" means the message reached a live consumer incarnation (the
+// handler job was enqueued); if the consumer crashes before executing the
+// job, the message still counts as delivered — it made it into the dead
+// process's memory, which is where it died. tests/test_chaos.cpp sweeps
+// this invariant across chaos campaigns via the process-wide registry
+// below.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "sim/process.hpp"
 #include "sim/simulator.hpp"
@@ -24,7 +40,40 @@ struct ChannelStats {
   std::uint64_t delivered{0};
   std::uint64_t dropped_full{0};
   std::uint64_t dropped_dead{0};
+  /// Highest number of simultaneously in-flight messages ever observed.
+  std::size_t in_flight_hwm{0};
 };
+
+/// Untyped view of a channel: what audits need without knowing T. Every
+/// live Channel<T> is reachable through channel_registry() — the chaos
+/// tests sweep it to check the accounting invariant on *every* channel in
+/// the simulation, including ones buried inside replicas.
+class ChannelBase {
+ public:
+  ChannelBase(const ChannelBase&) = delete;
+  ChannelBase& operator=(const ChannelBase&) = delete;
+
+  [[nodiscard]] virtual const ChannelStats& channel_stats() const = 0;
+  [[nodiscard]] virtual std::size_t channel_in_flight() const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+ protected:
+  ChannelBase();
+  virtual ~ChannelBase();
+};
+
+/// All channels currently alive in this process (the sim is
+/// single-threaded; no locking).
+[[nodiscard]] inline std::vector<ChannelBase*>& channel_registry() {
+  static std::vector<ChannelBase*> reg;
+  return reg;
+}
+
+inline ChannelBase::ChannelBase() { channel_registry().push_back(this); }
+inline ChannelBase::~ChannelBase() {
+  auto& reg = channel_registry();
+  reg.erase(std::remove(reg.begin(), reg.end(), this), reg.end());
+}
 
 /// A typed, bounded, unidirectional channel into `consumer`.
 ///
@@ -32,7 +81,7 @@ struct ChannelStats {
 /// message; `handler(msg)` runs after that work completes. `latency` models
 /// the cache-line/interconnect transfer delay between cores.
 template <typename T>
-class Channel {
+class Channel : public ChannelBase {
  public:
   using Handler = std::function<void(T&&)>;
   using CostFn = std::function<sim::Cycles(const T&)>;
@@ -51,9 +100,6 @@ class Channel {
       : Channel(consumer, capacity, latency,
                 [cost](const T&) { return cost; }, std::move(handler)) {}
 
-  Channel(const Channel&) = delete;
-  Channel& operator=(const Channel&) = delete;
-
   /// Deposit a message. Returns false (and drops it) if the channel is full
   /// or the consumer is dead.
   bool send(T msg) {
@@ -70,20 +116,30 @@ class Channel {
       return false;
     }
     ++in_flight_;
-    auto& q = consumer_->sim().queue();
+    stats_.in_flight_hwm = std::max(stats_.in_flight_hwm, in_flight_);
+    auto& sim = consumer_->sim();
     const auto epoch = consumer_->epoch();
-    q.schedule(latency_, [this, epoch, msg = std::move(msg)]() mutable {
-      if (consumer_->crashed() || consumer_->epoch() != epoch) {
-        if (in_flight_ > 0) --in_flight_;
-        return;
-      }
-      const sim::Cycles cost = cost_fn_(msg);
-      consumer_->post(cost, [this, msg = std::move(msg)]() mutable {
-        if (in_flight_ > 0) --in_flight_;
-        ++stats_.delivered;
-        handler_(std::move(msg));
-      });
-    });
+    const sim::SimTime sent_at = sim.now();
+    sim.queue().schedule(
+        latency_, [this, epoch, sent_at, msg = std::move(msg)]() mutable {
+          if (consumer_->crashed() || consumer_->epoch() != epoch) {
+            // Died in transfer: the consumer (or its incarnation) is gone.
+            if (in_flight_ > 0) --in_flight_;
+            ++stats_.dropped_dead;
+            return;
+          }
+          ++stats_.delivered;
+          const sim::Cycles cost = cost_fn_(msg);
+          consumer_->post(cost, [this, sent_at, msg = std::move(msg)]() mutable {
+            if (in_flight_ > 0) --in_flight_;
+            auto& sim = consumer_->sim();
+            if (queue_delay_ == nullptr) {
+              queue_delay_ = &sim.metrics().histogram("ipc.queue_delay_ns");
+            }
+            queue_delay_->record(sim.now() - sent_at);
+            handler_(std::move(msg));
+          });
+        });
     return true;
   }
 
@@ -99,6 +155,16 @@ class Channel {
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
   [[nodiscard]] sim::Process& consumer() const { return *consumer_; }
 
+  [[nodiscard]] const ChannelStats& channel_stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] std::size_t channel_in_flight() const override {
+    return in_flight_;
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "channel->" + consumer_->name();
+  }
+
  private:
   sim::Process* consumer_;
   std::size_t capacity_;
@@ -107,6 +173,7 @@ class Channel {
   Handler handler_;
   std::size_t in_flight_{0};
   ChannelStats stats_;
+  obs::Histogram* queue_delay_{nullptr};
 };
 
 /// Default inter-core message latency: a couple of cache-line transfers.

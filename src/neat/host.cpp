@@ -83,6 +83,8 @@ StackReplica& NeatHost::add_replica(
                   [this, id] { checkpoint_tick(id); });
   }
   driver_->announce_endpoint(queue, &ref.rx_channel());
+  sim_.tracer().emit({sim_.now(), 0, "neat", "scale_up", 0, id,
+                      "\"queue\":" + std::to_string(queue)});
   update_steering();
   // Subsocket replication: every recorded listener appears on the new
   // replica too, so it immediately shares the accept load.
@@ -151,6 +153,9 @@ void NeatHost::update_steering() {
 void NeatHost::begin_scale_down(StackReplica& replica) {
   if (replica.terminating || replica.terminated) return;
   replica.terminating = true;
+  sim_.tracer().emit({sim_.now(), 0, "neat", "scale_down", 0, replica.id(),
+                      "\"conns_draining\":" + std::to_string(
+                          replica.tcp().active_connection_count())});
   // (ii) new connections bypass it; existing flows keep their path thanks
   // to the NIC's per-flow tracking filters.
   update_steering();
@@ -217,6 +222,9 @@ void NeatHost::inject_crash(StackReplica& replica, Component component) {
   ev.tcp_state_lost = tcp_loss;
   ev.connections_lost = tcp_loss ? replica.tcp().connection_count() : 0;
   recovery_log_.push_back(ev);
+  sim_.tracer().emit({sim_.now(), 0, "neat", "crash", 0, replica.id(),
+                      "\"component\":\"" + ev.component + "\",\"conns_lost\":" +
+                          std::to_string(ev.connections_lost)});
 
   // The crash: state vanishes silently (on_crash hooks). That is ALL this
   // does — recovery belongs to the supervisor, whose watchdog must notice
@@ -239,6 +247,8 @@ void NeatHost::inject_driver_crash() {
   ev.component = "nicdrv";
   ev.tcp_state_lost = false;
   recovery_log_.push_back(ev);
+  sim_.tracer().emit({sim_.now(), 0, "neat", "crash", 0, -1,
+                      "\"component\":\"nicdrv\""});
   // Crash only; the supervisor's driver watchdog detects and restarts.
   driver_->crash();
 }
@@ -287,6 +297,8 @@ void NeatHost::recover_driver() {
 
 void NeatHost::quarantine_replica(StackReplica& replica) {
   if (replica.quarantined) return;
+  sim_.tracer().emit({sim_.now(), 0, "neat", "quarantine", 0, replica.id(), ""});
+  awaiting_first_service_.erase(replica.id());
   supervisor_->unwatch_replica(replica);
   replica.quarantined = true;
   replica.terminated = true;  // GC, checkpointing and steering all skip it
@@ -308,6 +320,8 @@ StackReplica* NeatHost::spawn_replacement(StackReplica& failed) {
 
 void NeatHost::collect_replica(StackReplica& replica) {
   if (replica.terminated) return;
+  sim_.tracer().emit({sim_.now(), 0, "neat", "collect", 0, replica.id(), ""});
+  awaiting_first_service_.erase(replica.id());
   supervisor_->unwatch_replica(replica);
   replica.terminated = true;
   retire_queue(replica.queue());
@@ -339,6 +353,25 @@ std::size_t NeatHost::note_detection(int replica_id,
   ev.detected_at = detected_at;
   recovery_log_.push_back(ev);
   return recovery_log_.size() - 1;
+}
+
+void NeatHost::await_first_service(int replica_id, std::size_t event_idx) {
+  awaiting_first_service_[replica_id] = event_idx;
+}
+
+void NeatHost::note_first_service(StackReplica& replica) {
+  auto it = awaiting_first_service_.find(replica.id());
+  if (it == awaiting_first_service_.end()) return;
+  RecoveryEvent& ev = recovery_log_[it->second];
+  awaiting_first_service_.erase(it);
+  ev.first_service_at = sim_.now();
+  sim_.metrics()
+      .histogram("recovery.crash_to_first_service_ns")
+      .record(ev.first_service_latency());
+  sim_.tracer().emit({sim_.now(), 0, "neat", "first_service", 0,
+                      replica.id(),
+                      "\"since_crash_ns\":" +
+                          std::to_string(ev.first_service_latency())});
 }
 
 std::vector<std::uint16_t> NeatHost::listen_ports() const {

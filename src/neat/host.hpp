@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "drv/driver.hpp"
@@ -82,12 +83,21 @@ struct RecoveryEvent {
   // Supervision annotations.
   sim::SimTime detected_at{0};   ///< watchdog declared the component dead
   sim::SimTime recovered_at{0};  ///< restart (or terminal action) completed
+  /// First request served by the restarted replica (0 until observed) —
+  /// the app-visible end of the outage window.
+  sim::SimTime first_service_at{0};
   int backoff_level{0};          ///< exponential-backoff level applied
   /// "restart" | "quarantine" | "replace" | "gc" (collected while draining).
   std::string action{"restart"};
 
   [[nodiscard]] sim::SimTime detection_latency() const {
     return detected_at > at ? detected_at - at : 0;
+  }
+  [[nodiscard]] sim::SimTime recovery_latency() const {
+    return recovered_at > at ? recovered_at - at : 0;
+  }
+  [[nodiscard]] sim::SimTime first_service_latency() const {
+    return first_service_at > at ? first_service_at - at : 0;
   }
 };
 
@@ -204,6 +214,13 @@ class NeatHost {
     return recovery_log_[idx];
   }
 
+  /// Arm the crash-to-first-service measurement: the next successful
+  /// accept() on `replica_id` stamps `first_service_at` on event `idx`.
+  void await_first_service(int replica_id, std::size_t event_idx);
+  /// Called by the socket library on every successful accept; records the
+  /// end of the app-visible outage when the replica was being watched.
+  void note_first_service(StackReplica& replica);
+
   [[nodiscard]] const std::vector<RecoveryEvent>& recovery_log() const {
     return recovery_log_;
   }
@@ -242,6 +259,8 @@ class NeatHost {
   std::vector<ListenRecord> listen_registry_;
   std::vector<ReplicaFailureListener*> listeners_;
   std::vector<RecoveryEvent> recovery_log_;
+  /// replica id -> recovery-log index awaiting its first post-restart accept.
+  std::unordered_map<int, std::size_t> awaiting_first_service_;
   /// The "independent data store" checkpoints survive crashes in.
   std::vector<net::TcpCheckpoint> checkpoints_;
   sim::Rng rng_;

@@ -167,6 +167,7 @@ class SingleComponentReplica final : public sim::Process,
   std::uint32_t random_u32() override {
     return static_cast<std::uint32_t>(rng_());
   }
+  obs::Hub* obs_hub() override { return &sim().obs(); }
 
   [[nodiscard]] IpLayer& ip_layer() { return ip_; }
 
@@ -211,6 +212,7 @@ class TcpComponent final : public sim::Process, public net::TcpEnv {
   std::uint32_t random_u32() override {
     return static_cast<std::uint32_t>(rng_());
   }
+  obs::Hub* obs_hub() override { return &sim().obs(); }
 
  protected:
   void on_crash() override;

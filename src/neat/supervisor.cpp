@@ -111,6 +111,8 @@ void Supervisor::on_silent(Watch& w, sim::SimTime silent_for) {
   const sim::SimTime lat = host_.event(idx).detection_latency();
   stats_.detection_latency_total += lat;
   stats_.detection_latency_max = std::max(stats_.detection_latency_max, lat);
+  host_.simulator().metrics().histogram("recovery.crash_to_detect_ns")
+      .record(lat);
   if (w.replica == nullptr) {
     handle_driver_death(w, idx);
   } else {
@@ -185,6 +187,15 @@ void Supervisor::complete_replica_restart(Watch& w, std::size_t event_idx) {
   if (restored > 0) ev.connections_restored = restored;
   ++stats_.restarts;
   replica_loop_[rep.id()].last_recover = host_.simulator().now();
+  sim::Simulator& sim = host_.simulator();
+  sim.metrics().histogram("recovery.crash_to_recovered_ns")
+      .record(ev.recovery_latency());
+  sim.tracer().emit({sim.now(), 0, "neat", "restart", 0, rep.id(),
+                     "\"since_crash_ns\":" +
+                         std::to_string(ev.recovery_latency())});
+  // The outage isn't over until the restarted replica serves again: the
+  // next accept() on it closes the crash-to-first-service window.
+  host_.await_first_service(rep.id(), event_idx);
   arm(w);  // monitor the fresh incarnation
 }
 
@@ -211,9 +222,16 @@ void Supervisor::handle_driver_death(Watch& w, std::size_t event_idx) {
 void Supervisor::complete_driver_restart(Watch& w, std::size_t event_idx) {
   w.restart_pending = false;
   host_.recover_driver();
-  host_.event(event_idx).recovered_at = host_.simulator().now();
+  RecoveryEvent& ev = host_.event(event_idx);
+  ev.recovered_at = host_.simulator().now();
   ++stats_.driver_restarts;
   driver_loop_.last_recover = host_.simulator().now();
+  sim::Simulator& sim = host_.simulator();
+  sim.metrics().histogram("recovery.crash_to_recovered_ns")
+      .record(ev.recovery_latency());
+  sim.tracer().emit({sim.now(), 0, "neat", "restart", 0, -1,
+                     "\"component\":\"nicdrv\",\"since_crash_ns\":" +
+                         std::to_string(ev.recovery_latency())});
   arm(w);
 }
 

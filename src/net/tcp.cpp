@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "net/checksum.hpp"
 #include "net/ipv4.hpp"
@@ -115,6 +116,15 @@ TcpSocket::TcpSocket(TcpStack& stack, FlowKey flow, const TcpConfig& cfg)
       rto_(cfg.rto_initial),
       recv_ring_(cfg.recv_buf) {
   cwnd_ = cfg_.initial_cwnd_segments * cfg_.mss;
+  state_entered_ = stack_.env().now();
+}
+
+void TcpSocket::set_state(TcpState next) {
+  if (next == state_) return;
+  const sim::SimTime now = stack_.env().now();
+  stack_.record_dwell(state_, now - state_entered_);
+  state_ = next;
+  state_entered_ = now;
 }
 
 TcpSocket::~TcpSocket() {
@@ -138,7 +148,7 @@ void TcpSocket::start_active_open() {
   iss_ = stack_.env().random_u32();
   snd_una_ = iss_;
   snd_nxt_ = iss_ + 1;
-  state_ = TcpState::kSynSent;
+  set_state(TcpState::kSynSent);
   ++stack_.stats_.conns_initiated;
   emit_segment(iss_, 0, /*fin=*/false, /*syn=*/true, /*force_ack=*/false);
   arm_rto();
@@ -152,7 +162,7 @@ void TcpSocket::start_passive_open(const TcpHeader& syn) {
   iss_ = stack_.env().random_u32();
   snd_una_ = iss_;
   snd_nxt_ = iss_ + 1;
-  state_ = TcpState::kSynRcvd;
+  set_state(TcpState::kSynRcvd);
   emit_segment(iss_, 0, /*fin=*/false, /*syn=*/true, /*force_ack=*/true);
   arm_rto();
 }
@@ -191,12 +201,12 @@ void TcpSocket::close() {
     case TcpState::kSynRcvd:
     case TcpState::kEstablished:
       fin_queued_ = true;
-      state_ = TcpState::kFinWait1;
+      set_state(TcpState::kFinWait1);
       try_output();
       return;
     case TcpState::kCloseWait:
       fin_queued_ = true;
-      state_ = TcpState::kLastAck;
+      set_state(TcpState::kLastAck);
       try_output();
       return;
     default:
@@ -245,7 +255,7 @@ void TcpSocket::on_segment(const TcpHeader& h, PacketPtr payload) {
       rcv_nxt_ = h.seq + 1;
       peer_mss_ = h.mss_option.value_or(536);
       snd_una_ = h.ack;
-      state_ = TcpState::kEstablished;
+      set_state(TcpState::kEstablished);
       retries_ = 0;
       disarm_rto();
       send_ack_now();
@@ -256,7 +266,7 @@ void TcpSocket::on_segment(const TcpHeader& h, PacketPtr payload) {
       irs_ = h.seq;
       rcv_nxt_ = h.seq + 1;
       peer_mss_ = h.mss_option.value_or(536);
-      state_ = TcpState::kSynRcvd;
+      set_state(TcpState::kSynRcvd);
       emit_segment(iss_, 0, false, true, true);  // re-send SYN, now with ACK
     }
     return;
@@ -270,7 +280,7 @@ void TcpSocket::on_segment(const TcpHeader& h, PacketPtr payload) {
     }
     if (h.ack_flag && h.ack == snd_nxt_) {
       snd_una_ = h.ack;
-      state_ = TcpState::kEstablished;
+      set_state(TcpState::kEstablished);
       retries_ = 0;
       disarm_rto();
       stack_.handshake_complete(*this);
@@ -305,11 +315,11 @@ void TcpSocket::on_segment(const TcpHeader& h, PacketPtr payload) {
     send_ack_now();
     switch (state_) {
       case TcpState::kEstablished:
-        state_ = TcpState::kCloseWait;
+        set_state(TcpState::kCloseWait);
         break;
       case TcpState::kFinWait1:
         // Our FIN not yet acked: simultaneous close.
-        state_ = TcpState::kClosing;
+        set_state(TcpState::kClosing);
         break;
       case TcpState::kFinWait2:
         enter_time_wait();
@@ -342,6 +352,7 @@ void TcpSocket::on_ack(const TcpHeader& h) {
         in_recovery_ = true;
         ++retransmit_count_;
         ++stack_.stats_.retransmits;
+        stack_.count_retransmit();
         rtt_sample_.reset();  // Karn
         const std::size_t len = std::min<std::size_t>(
             effective_mss(), send_ring_.readable());
@@ -381,6 +392,7 @@ void TcpSocket::on_ack(const TcpHeader& h) {
       // Partial ack: retransmit the next hole immediately.
       ++retransmit_count_;
       ++stack_.stats_.retransmits;
+      stack_.count_retransmit();
       const std::size_t len =
           std::min<std::size_t>(effective_mss(), send_ring_.readable());
       if (len > 0) emit_segment(snd_una_, len, false, false, true);
@@ -404,7 +416,7 @@ void TcpSocket::on_ack(const TcpHeader& h) {
   if (fin_sent_ && seq_ge(snd_una_, fin_seq_ + 1)) {
     switch (state_) {
       case TcpState::kFinWait1:
-        state_ = TcpState::kFinWait2;
+        set_state(TcpState::kFinWait2);
         break;
       case TcpState::kClosing:
         enter_time_wait();
@@ -638,10 +650,12 @@ void TcpSocket::on_rto() {
   if (len > 0) {
     ++retransmit_count_;
     ++stack_.stats_.retransmits;
+    stack_.count_retransmit();
     emit_segment(snd_una_, len, false, false, true);
   } else if (fin_sent_ && seq_le(fin_seq_, snd_una_)) {
     ++retransmit_count_;
     ++stack_.stats_.retransmits;
+    stack_.count_retransmit();
     emit_segment(fin_seq_, 0, true, false, true);
   } else if (send_ring_.readable() > 0) {
     // Zero-window probe: push one byte past the window.
@@ -654,6 +668,7 @@ void TcpSocket::on_rto() {
 }
 
 void TcpSocket::update_rtt(sim::SimTime measured) {
+  stack_.record_rtt(measured);
   if (srtt_ == 0) {
     srtt_ = measured;
     rttvar_ = measured / 2;
@@ -667,7 +682,7 @@ void TcpSocket::update_rtt(sim::SimTime measured) {
 }
 
 void TcpSocket::enter_time_wait() {
-  state_ = TcpState::kTimeWait;
+  set_state(TcpState::kTimeWait);
   disarm_rto();
   // TIME_WAIT only needs the connection identity and timers — holding
   // buffer memory here would pin gigabytes under connection churn.
@@ -685,7 +700,7 @@ void TcpSocket::enter_time_wait() {
 void TcpSocket::enter_closed(TcpCloseReason reason) {
   if (state_ == TcpState::kClosed) return;
   if (state_ == TcpState::kSynRcvd) stack_.handshake_dropped();
-  state_ = TcpState::kClosed;
+  set_state(TcpState::kClosed);
   disarm_rto();
   ack_timer_.cancel();
   time_wait_timer_.cancel();
@@ -803,6 +818,15 @@ void TcpStack::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt) {
 void TcpStack::handshake_complete(TcpSocket& s) {
   if (pending_handshakes_ > 0) --pending_handshakes_;
   ++stats_.conns_accepted;
+  if (obs::Hub* hub = env_.obs_hub()) {
+    if (handshake_counter_ == nullptr) {
+      handshake_counter_ = &hub->metrics.counter("tcp.handshakes");
+    }
+    handshake_counter_->inc();
+    hub->tracer.emit({env_.now(), 0, "tcp", "handshake_done", 0,
+                      s.flow().local_port,
+                      "\"port\":" + std::to_string(s.flow().local_port)});
+  }
   auto lit = listeners_.find(s.flow().local_port);
   if (lit == listeners_.end()) {
     s.abort();  // listener vanished between SYN and ACK
@@ -810,6 +834,33 @@ void TcpStack::handshake_complete(TcpSocket& s) {
   }
   lit->second->accept_q_.push_back(s.shared_from_this());
   if (lit->second->on_ready_) lit->second->on_ready_();
+}
+
+void TcpStack::record_rtt(sim::SimTime rtt) {
+  obs::Hub* hub = env_.obs_hub();
+  if (hub == nullptr) return;
+  if (rtt_hist_ == nullptr) rtt_hist_ = &hub->metrics.histogram("tcp.rtt_ns");
+  rtt_hist_->record(rtt);
+}
+
+void TcpStack::count_retransmit() {
+  obs::Hub* hub = env_.obs_hub();
+  if (hub == nullptr) return;
+  if (retx_counter_ == nullptr) {
+    retx_counter_ = &hub->metrics.counter("tcp.retransmits");
+  }
+  retx_counter_->inc();
+}
+
+void TcpStack::record_dwell(TcpState s, sim::SimTime dwell) {
+  obs::Hub* hub = env_.obs_hub();
+  if (hub == nullptr) return;
+  auto& slot = dwell_hist_[static_cast<std::size_t>(s)];
+  if (slot == nullptr) {
+    slot = &hub->metrics.histogram(std::string("tcp.state_dwell.") +
+                                   to_string(s) + "_ns");
+  }
+  slot->record(dwell);
 }
 
 void TcpStack::send_rst_for(const TcpHeader& h, Ipv4Addr src, Ipv4Addr dst,
@@ -883,6 +934,7 @@ std::vector<TcpSocketPtr> TcpStack::restore(const TcpCheckpoint& cp) {
     if (conns_.contains(s.flow)) continue;
     auto sock = std::make_shared<TcpSocket>(*this, s.flow, cfg_);
     sock->state_ = TcpState::kEstablished;
+    sock->state_entered_ = env_.now();
     sock->iss_ = s.iss;
     sock->irs_ = s.irs;
     sock->snd_una_ = s.snd_una;

@@ -21,6 +21,7 @@
 // replica, the Linux-baseline kernel model, and the unit tests.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "ipc/byte_ring.hpp"
+#include "obs/obs.hpp"
 #include "net/addr.hpp"
 #include "net/packet.hpp"
 #include "sim/event_queue.hpp"
@@ -119,6 +121,9 @@ class TcpEnv {
   virtual void tx(PacketPtr segment, Ipv4Addr src, Ipv4Addr dst) = 0;
   /// Randomness for ISS and ephemeral ports.
   virtual std::uint32_t random_u32() = 0;
+  /// Observability hub of the enclosing simulation; nullptr disables all
+  /// metric/trace recording (bare unit-test environments).
+  [[nodiscard]] virtual obs::Hub* obs_hub() { return nullptr; }
 };
 
 // --------------------------------------------------------------------------
@@ -203,6 +208,9 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
 
   void start_active_open();
   void start_passive_open(const TcpHeader& syn);
+  /// Single choke point for state transitions: records the dwell time of
+  /// the state being left into the per-state histograms.
+  void set_state(TcpState next);
   void on_segment(const TcpHeader& h, PacketPtr payload);
   void on_ack(const TcpHeader& h);
   void accept_data(const TcpHeader& h, const PacketPtr& payload);
@@ -226,6 +234,7 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   FlowKey flow_;
   const TcpConfig& cfg_;
   TcpState state_{TcpState::kClosed};
+  sim::SimTime state_entered_{0};
   Callbacks cb_;
 
   // Send side. send_ring_ holds [snd_una_, snd_una_ + size) of the stream.
@@ -429,6 +438,11 @@ class TcpStack {
                     std::size_t payload_len);
   void socket_closed(TcpSocket& s);  // remove from table when fully done
   void handshake_complete(TcpSocket& s);
+  // Observability (all no-ops when env reports no hub). Metric handles are
+  // cached per stack so the hot paths pay one pointer test per event.
+  void record_rtt(sim::SimTime rtt);
+  void count_retransmit();
+  void record_dwell(TcpState s, sim::SimTime dwell);
   void handshake_dropped() {
     if (pending_handshakes_ > 0) --pending_handshakes_;
   }
@@ -442,6 +456,10 @@ class TcpStack {
   std::unordered_map<std::uint16_t, std::unique_ptr<TcpListener>> listeners_;
   std::uint16_t next_ephemeral_{0};
   std::size_t pending_handshakes_{0};
+  obs::Histogram* rtt_hist_{nullptr};
+  obs::Counter* retx_counter_{nullptr};
+  obs::Counter* handshake_counter_{nullptr};
+  std::array<obs::Histogram*, 11> dwell_hist_{};
 };
 
 }  // namespace neat::net

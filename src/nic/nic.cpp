@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "net/ethernet.hpp"
 #include "net/ipv4.hpp"
@@ -170,19 +171,23 @@ void Nic::receive(net::PacketPtr frame) {
   if (flow && (flow->key.local_port != 0 || flow->key.remote_port != 0)) {
     if (auto it = flows_.find(flow->key); it != flows_.end()) {
       queue = it->second.queue;
+      ++stats_.rx_steered_filter;
       touch_lru(flow->key);
       if (params_.tracking_filters && flow->rst) {
         remove_flow_filter(flow->key);  // flow is gone; free the entry
       }
+      note_steering(/*filter_hit=*/true, *flow, queue);
     } else {
       queue = rss_queue(flow->key.remote_ip, flow->key.remote_port,
                         flow->key.local_ip, flow->key.local_port);
+      ++stats_.rx_steered_rss;
       if (params_.tracking_filters && flow->is_tcp && flow->syn) {
         // The paper's proposed hardware extension: remember where this
         // flow's first packet went so later indirection changes (scale
         // up/down) never move it.
         add_flow_filter(flow->key, queue);
       }
+      note_steering(/*filter_hit=*/false, *flow, queue);
     }
   }
 
@@ -196,6 +201,23 @@ void Nic::receive(net::PacketPtr frame) {
   frame->nic_rx_time = sim_.now();
   q.push_back(std::move(frame));
   if (rx_notify_) rx_notify_(queue);
+}
+
+void Nic::note_steering(bool filter_hit, const ParsedFlow& flow, int queue) {
+  if (steer_filter_counter_ == nullptr) {
+    auto& m = sim_.metrics();
+    steer_filter_counter_ = &m.counter("nic.steer_filter_hit");
+    steer_rss_counter_ = &m.counter("nic.steer_rss");
+  }
+  (filter_hit ? steer_filter_counter_ : steer_rss_counter_)->inc();
+  if (flow.is_tcp && flow.syn) {
+    auto& tracer = sim_.tracer();
+    std::string args = "\"queue\":" + std::to_string(queue);
+    args += filter_hit ? ",\"via\":\"filter\"" : ",\"via\":\"rss\"";
+    tracer.emit({sim_.now(), 0, "nic", "syn_received", 0, queue, args});
+    tracer.emit({sim_.now(), 0, "nic", "replica_steered", 0, queue,
+                 std::move(args)});
+  }
 }
 
 net::PacketPtr Nic::poll_rx(int queue) {

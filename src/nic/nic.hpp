@@ -50,6 +50,9 @@ struct NicStats {
   std::uint64_t rx_dropped_no_match{0};  // wrong MAC
   std::uint64_t filters_installed{0};
   std::uint64_t filters_evicted{0};
+  /// Steering decisions by mechanism: exact-match filter hit vs RSS hash.
+  std::uint64_t rx_steered_filter{0};
+  std::uint64_t rx_steered_rss{0};
 };
 
 /// Per-flow observation parsed by the classifier (also exposed to tests).
@@ -141,6 +144,10 @@ class Nic {
 
  private:
   void touch_lru(const net::FlowKey& key);
+  /// Record one steering decision in the metrics registry, and trace SYNs
+  /// (the per-flow steering event; tracing every frame would drown the
+  /// ring).
+  void note_steering(bool filter_hit, const ParsedFlow& flow, int queue);
 
   sim::Simulator& sim_;
   net::MacAddr mac_;
@@ -160,6 +167,8 @@ class Nic {
   };
   std::unordered_map<net::FlowKey, FlowEntry, net::FlowKeyHash> flows_;
   std::list<net::FlowKey> lru_;  // front = most recent
+  obs::Counter* steer_filter_counter_{nullptr};
+  obs::Counter* steer_rss_counter_{nullptr};
 };
 
 /// Wire impairment knobs — the adversarial packet dynamics a robustness

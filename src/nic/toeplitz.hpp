@@ -72,6 +72,22 @@ class ToeplitzHasher {
     return hash(in);
   }
 
+  /// IPv4-only 2-tuple hash: src ip, dst ip — used for protocols without
+  /// ports (and the "IPv4 only" rows of the RSS verification vectors).
+  [[nodiscard]] std::uint32_t hash_ip_pair(net::Ipv4Addr src,
+                                           net::Ipv4Addr dst) const {
+    std::array<std::uint8_t, 8> in{};
+    in[0] = static_cast<std::uint8_t>(src.value >> 24);
+    in[1] = static_cast<std::uint8_t>(src.value >> 16);
+    in[2] = static_cast<std::uint8_t>(src.value >> 8);
+    in[3] = static_cast<std::uint8_t>(src.value);
+    in[4] = static_cast<std::uint8_t>(dst.value >> 24);
+    in[5] = static_cast<std::uint8_t>(dst.value >> 16);
+    in[6] = static_cast<std::uint8_t>(dst.value >> 8);
+    in[7] = static_cast<std::uint8_t>(dst.value);
+    return hash(in);
+  }
+
  private:
   std::array<std::uint8_t, 40> key_{};
 };

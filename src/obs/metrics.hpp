@@ -1,0 +1,204 @@
+// Observability: the metrics registry.
+//
+// Counters, gauges and fixed-layout log-linear histograms for the hot paths
+// of the stack. The simulator is single-threaded, so none of this needs
+// locks; what it needs instead is (a) stable handles so instrumented code
+// can cache a pointer and pay one map lookup per metric per lifetime, and
+// (b) mergeable histograms so per-generator latency distributions can be
+// combined into one percentile report (taking max-of-p99s across
+// generators, as the harness used to, is not a p99).
+//
+// The histogram is HdrHistogram-shaped: values below 2^5 get their own
+// bucket (exact); above that, each power-of-two range is split into 16
+// linear sub-buckets, bounding the relative error of any recorded value —
+// and therefore of any reported quantile — by 1/16.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace neat::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  /// Keep the largest value ever set (high-water marks).
+  void set_max(double v) { value_ = std::max(value_, v); }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_{0.0};
+};
+
+/// Log-linear histogram over unsigned 64-bit values (typically nanoseconds).
+///
+/// Layout: values in [0, 32) are exact; for larger values the power-of-two
+/// group [2^k, 2^(k+1)) is split into 16 equal sub-buckets. Every bucket
+/// boundary is therefore `s << g` for integer s in [16, 32), and the width
+/// of a bucket containing value v is at most v/16.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 32;  // 2^kSubBucketBits
+  static constexpr int kSubBucketBits = 5;
+  // Groups for bit widths 6..64 inclusive, 16 sub-buckets each.
+  static constexpr int kGroups = 59;
+  static constexpr int kBuckets = kSubBuckets + kGroups * 16;  // 976
+
+  void record(std::uint64_t v, std::uint64_t n = 1) {
+    buckets_[static_cast<std::size_t>(index(v))] += n;
+    count_ += n;
+    sum_ += v * n;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the upper edge of the bucket holding
+  /// the q-th ranked recording, clamped to the observed maximum (so
+  /// quantile(1.0) == max() exactly). Monotonically non-decreasing in q.
+  [[nodiscard]] std::uint64_t quantile(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets_[static_cast<std::size_t>(i)];
+      if (seen > target) return std::min(bucket_upper(i), max_);
+    }
+    return max_;
+  }
+
+  /// Fold `other` into this histogram (identical fixed layout).
+  void merge(const Histogram& other) {
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets_[static_cast<std::size_t>(i)] +=
+          other.buckets_[static_cast<std::size_t>(i)];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  void reset() { *this = Histogram{}; }
+
+  /// Bucket index for a value. Exposed (with the boundary helpers) so the
+  /// tests can verify the layout directly.
+  [[nodiscard]] static int index(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    const int g = std::bit_width(v) - kSubBucketBits;  // >= 1
+    const auto sub = static_cast<int>(v >> g);         // in [16, 32)
+    return kSubBuckets + (g - 1) * 16 + (sub - 16);
+  }
+
+  /// Smallest value mapping to bucket i.
+  [[nodiscard]] static std::uint64_t bucket_lower(int i) {
+    if (i < kSubBuckets) return static_cast<std::uint64_t>(i);
+    const int j = i - kSubBuckets;
+    const int g = j / 16 + 1;
+    const auto s = static_cast<std::uint64_t>(j % 16 + 16);
+    return s << g;
+  }
+
+  /// Largest value mapping to bucket i.
+  [[nodiscard]] static std::uint64_t bucket_upper(int i) {
+    if (i < kSubBuckets) return static_cast<std::uint64_t>(i);
+    const int j = i - kSubBuckets;
+    const int g = j / 16 + 1;
+    const auto s = static_cast<std::uint64_t>(j % 16 + 16);
+    // ((s+1) << g) - 1, careful with the final group's overflow.
+    const std::uint64_t next = (s + 1) << g;
+    return next == 0 ? ~std::uint64_t{0} : next - 1;
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_ =
+      std::vector<std::uint64_t>(kBuckets, 0);
+  std::uint64_t count_{0};
+  std::uint64_t sum_{0};
+  std::uint64_t min_{~std::uint64_t{0}};
+  std::uint64_t max_{0};
+};
+
+/// Name → metric map. Handles returned by counter()/gauge()/histogram() are
+/// stable for the registry's lifetime: instrumented code looks a metric up
+/// once and caches the pointer.
+class Registry {
+ public:
+  Counter& counter(std::string_view name) { return slot(counters_, name); }
+  Gauge& gauge(std::string_view name) { return slot(gauges_, name); }
+  Histogram& histogram(std::string_view name) {
+    return slot(histograms_, name);
+  }
+
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const {
+    return find(counters_, name);
+  }
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const {
+    return find(gauges_, name);
+  }
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const {
+    return find(histograms_, name);
+  }
+
+  template <typename T>
+  using Map = std::map<std::string, std::unique_ptr<T>, std::less<>>;
+
+  [[nodiscard]] const Map<Counter>& counters() const { return counters_; }
+  [[nodiscard]] const Map<Gauge>& gauges() const { return gauges_; }
+  [[nodiscard]] const Map<Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  template <typename T>
+  static T& slot(Map<T>& m, std::string_view name) {
+    auto it = m.find(name);
+    if (it == m.end()) {
+      it = m.emplace(std::string(name), std::make_unique<T>()).first;
+    }
+    return *it->second;
+  }
+
+  template <typename T>
+  static const T* find(const Map<T>& m, std::string_view name) {
+    auto it = m.find(name);
+    return it == m.end() ? nullptr : it->second.get();
+  }
+
+  Map<Counter> counters_;
+  Map<Gauge> gauges_;
+  Map<Histogram> histograms_;
+};
+
+}  // namespace neat::obs

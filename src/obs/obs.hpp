@@ -1,0 +1,20 @@
+// Observability hub: one Registry + one FlowTracer per simulation.
+//
+// The hub lives on sim::Simulator so every layer that can reach the
+// simulator (which is all of them) can record metrics and trace events
+// without new plumbing. obs itself depends on nothing — it takes raw
+// nanosecond timestamps — so the dependency arrow points strictly
+// downward: sim links obs, never the reverse.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace neat::obs {
+
+struct Hub {
+  Registry metrics;
+  FlowTracer tracer;
+};
+
+}  // namespace neat::obs

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/machine.hpp"
 #include "sim/random.hpp"
@@ -19,6 +20,12 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return queue_.now(); }
   [[nodiscard]] EventQueue& queue() { return queue_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Observability hub: the metrics registry and flow tracer shared by
+  /// every layer of this simulation.
+  [[nodiscard]] obs::Hub& obs() { return obs_; }
+  [[nodiscard]] obs::Registry& metrics() { return obs_.metrics; }
+  [[nodiscard]] obs::FlowTracer& tracer() { return obs_.tracer; }
 
   /// Schedule a raw event (not tied to any process; use Process::after for
   /// component timers so they die with the component).
@@ -47,6 +54,7 @@ class Simulator {
  private:
   EventQueue queue_;
   Rng rng_;
+  obs::Hub obs_;
   std::vector<std::unique_ptr<Machine>> machines_;
 };
 

@@ -63,6 +63,7 @@ Fd SockLib::accept(Fd listen_fd, ConnCallbacks cb) {
     if (net::TcpSocketPtr tcp = l->accept()) {
       entry.rr_next = (entry.rr_next + i + 1) % n;
       const Fd fd = next_fd_++;
+      host_.note_first_service(rep);
       wire_connection(fd, rep, std::move(tcp), std::move(cb),
                       /*notify_connect=*/false);
       return fd;

@@ -8,6 +8,7 @@
 
 #include "fault/chaos.hpp"
 #include "harness/testbed.hpp"
+#include "ipc/channel.hpp"
 
 namespace neat::harness {
 namespace {
@@ -15,6 +16,12 @@ namespace {
 struct ChaosFixture : public ::testing::Test {
   void build(bool multi, int replicas, nic::LinkImpairment imp = {},
              int webs = 2) {
+    // Rebuilding mid-test: tear the previous rig down in reverse order —
+    // processes unpin from their simulator's machines on destruction, so
+    // the Testbed must outlive them.
+    client.reset();
+    server.reset();
+    tb.reset();
     Testbed::Config cfg;
     cfg.seed = 777;
     cfg.link.impairment = imp;
@@ -368,6 +375,42 @@ TEST_F(ChaosFixture, CampaignIsDeterministicPerSeed) {
   EXPECT_GT(f1, 0u);
   EXPECT_EQ(f1, f2) << "same seeds -> same fault schedule";
   EXPECT_EQ(l1, l2) << "same seeds -> same recovery history";
+}
+
+TEST_F(ChaosFixture, ChannelAccountingInvariantHoldsAcrossChaosSeeds) {
+  // Every message a channel ever accepts must be classified as exactly one
+  // of delivered / dropped_full / dropped_dead — crashes, restarts and
+  // rebinds included. Sweep several campaign seeds; after each campaign,
+  // stop the load and let in-flight traffic drain so the books can balance.
+  for (const std::uint64_t seed : {101u, 202u, 303u}) {
+    nic::LinkImpairment lossy;
+    lossy.drop_probability = 0.01;
+    build(false, 3, lossy, /*webs=*/3);
+
+    fault::ChaosConfig cc;
+    cc.seed = seed;
+    cc.duration = 400 * sim::kMillisecond;
+    cc.mean_fault_gap = 35 * sim::kMillisecond;
+    fault::ChaosCampaign campaign(host(), tb->link, cc);
+    campaign.start();
+    tb->sim.run_for(campaign.span() + 50 * sim::kMillisecond);
+
+    // Quiesce: no new connections, existing ones finish and close, then
+    // everything still in transfer latency lands and gets classified.
+    for (auto& g : client->gens) g->config().max_conns = 1;
+    tb->sim.run_for(1000 * sim::kMillisecond);
+
+    std::uint64_t total_sent = 0;
+    for (const ipc::ChannelBase* ch : ipc::channel_registry()) {
+      const auto& s = ch->channel_stats();
+      EXPECT_EQ(s.sent, s.delivered + s.dropped_full + s.dropped_dead)
+          << "seed " << seed << ": " << ch->describe() << " leaked "
+          << (s.sent - s.delivered - s.dropped_full - s.dropped_dead)
+          << " messages";
+      total_sent += s.sent;
+    }
+    EXPECT_GT(total_sent, 0u) << "seed " << seed;
+  }
 }
 
 }  // namespace

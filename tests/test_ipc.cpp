@@ -2,6 +2,7 @@
 // doorbells.
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <numeric>
 #include <vector>
 
@@ -147,6 +148,79 @@ TEST_P(ByteRingProperty, StreamIntegrityUnderRandomChunking) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ByteRingProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/// Property: against a std::deque reference model, arbitrary interleavings
+/// of write / read / peek / peek_at / discard behave identically — this
+/// pins the wrap-around arithmetic (at most two memcpy segments per
+/// operation) to an obviously-correct implementation.
+class ByteRingModelProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ByteRingModelProperty, MatchesDequeReferenceModel) {
+  sim::Rng rng(GetParam());
+  const std::size_t cap = 1 + rng.below(300);
+  ByteRing ring(cap);
+  std::deque<std::uint8_t> model;
+  std::size_t model_high_water = 0;
+  std::uint8_t next = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    switch (rng.below(5)) {
+      case 0: {  // write
+        std::vector<std::uint8_t> chunk(1 + rng.below(cap + 16));
+        for (auto& c : chunk) c = next++;
+        const std::size_t n = ring.write(chunk);
+        const std::size_t expect = std::min(chunk.size(), cap - model.size());
+        ASSERT_EQ(n, expect);
+        model.insert(model.end(), chunk.begin(),
+                     chunk.begin() + static_cast<long>(n));
+        model_high_water = std::max(model_high_water, model.size());
+        break;
+      }
+      case 1: {  // read (consumes)
+        std::vector<std::uint8_t> buf(1 + rng.below(cap + 16));
+        const std::size_t n = ring.read(buf);
+        ASSERT_EQ(n, std::min(buf.size(), model.size()));
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(buf[i], model.front());
+          model.pop_front();
+        }
+        break;
+      }
+      case 2: {  // peek (does not consume)
+        std::vector<std::uint8_t> buf(1 + rng.below(cap + 16));
+        const std::size_t n = ring.peek(buf);
+        ASSERT_EQ(n, std::min(buf.size(), model.size()));
+        for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(buf[i], model[i]);
+        break;
+      }
+      case 3: {  // peek_at offset (retransmission path)
+        const std::size_t off = rng.below(cap + 8);
+        std::vector<std::uint8_t> buf(1 + rng.below(64));
+        const std::size_t n = ring.peek_at(off, buf);
+        const std::size_t expect =
+            off >= model.size() ? 0 : std::min(buf.size(), model.size() - off);
+        ASSERT_EQ(n, expect);
+        for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(buf[i], model[off + i]);
+        break;
+      }
+      case 4: {  // discard (acked data drop)
+        const std::size_t want = rng.below(cap + 8);
+        const std::size_t n = ring.discard(want);
+        ASSERT_EQ(n, std::min(want, model.size()));
+        model.erase(model.begin(), model.begin() + static_cast<long>(n));
+        break;
+      }
+    }
+    ASSERT_EQ(ring.readable(), model.size());
+    ASSERT_EQ(ring.writable(), cap - model.size());
+  }
+  EXPECT_EQ(ring.high_water(), model_high_water);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteRingModelProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18,
+                                           19, 20));
 
 // ---------------------------------------------------------------------------
 // Channel

@@ -23,22 +23,38 @@ const net::Ipv4Addr kCliIp = net::Ipv4Addr::of(10, 0, 0, 2);
 // ---------------------------------------------------------------------------
 
 TEST(Toeplitz, MicrosoftVerificationVectors) {
-  // Official RSS verification suite values (IPv4 with TCP ports), for the
-  // standard key. Input tuples are (src, dst, srcport, dstport) hashed as
-  // src ip, dst ip, src port, dst port.
+  // The complete IPv4 table from the official RSS verification suite, for
+  // the standard key: both the 4-tuple (with TCP ports) hash and the
+  // IP-pair-only hash. Input tuples are (src, dst, srcport, dstport) hashed
+  // as src ip, dst ip, src port, dst port.
+  struct Vector {
+    std::uint8_t s0, s1, s2, s3;  // source address octets
+    std::uint8_t d0, d1, d2, d3;  // destination address octets
+    std::uint16_t sport, dport;
+    std::uint32_t with_ports;  // 4-tuple hash
+    std::uint32_t ip_only;     // 2-tuple hash
+  };
+  constexpr Vector kVectors[] = {
+      {66, 9, 149, 187, 161, 142, 100, 80, 2794, 1766, 0x51ccc178u,
+       0x323e8fc2u},
+      {199, 92, 111, 2, 65, 69, 140, 83, 14230, 4739, 0xc626b0eau,
+       0xd718262au},
+      {24, 19, 198, 95, 12, 22, 207, 184, 12898, 38024, 0x5c2b394au,
+       0xd2d0a5deu},
+      {38, 27, 205, 30, 209, 142, 163, 6, 48228, 2217, 0xafc7327fu,
+       0x82989176u},
+      {153, 39, 163, 191, 202, 188, 127, 2, 44251, 1303, 0x10e828a2u,
+       0x5d1809c5u},
+  };
   ToeplitzHasher h;
-  // 66.9.149.187:2794 -> 161.142.100.80:1766  => 0x51ccc178
-  EXPECT_EQ(h.hash_tuple(net::Ipv4Addr::of(66, 9, 149, 187),
-                         net::Ipv4Addr::of(161, 142, 100, 80), 2794, 1766),
-            0x51ccc178u);
-  // 199.92.111.2:14230 -> 65.69.140.83:4739 => 0xc626b0ea
-  EXPECT_EQ(h.hash_tuple(net::Ipv4Addr::of(199, 92, 111, 2),
-                         net::Ipv4Addr::of(65, 69, 140, 83), 14230, 4739),
-            0xc626b0eau);
-  // 24.19.198.95:12898 -> 12.22.207.184:38024 => 0x5c2b394a
-  EXPECT_EQ(h.hash_tuple(net::Ipv4Addr::of(24, 19, 198, 95),
-                         net::Ipv4Addr::of(12, 22, 207, 184), 12898, 38024),
-            0x5c2b394au);
+  for (const auto& v : kVectors) {
+    const auto src = net::Ipv4Addr::of(v.s0, v.s1, v.s2, v.s3);
+    const auto dst = net::Ipv4Addr::of(v.d0, v.d1, v.d2, v.d3);
+    EXPECT_EQ(h.hash_tuple(src, dst, v.sport, v.dport), v.with_ports)
+        << "4-tuple hash for " << int{v.s0} << "." << int{v.s1};
+    EXPECT_EQ(h.hash_ip_pair(src, dst), v.ip_only)
+        << "2-tuple hash for " << int{v.s0} << "." << int{v.s1};
+  }
 }
 
 TEST(Toeplitz, DeterministicAndPortSensitive) {
