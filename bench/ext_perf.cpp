@@ -1,0 +1,226 @@
+// ext_perf: wall-clock performance of the simulator's data path.
+//
+// Every other bench in this directory reports *simulated* quantities
+// (krps, latency percentiles at virtual time). This one is different: it
+// measures how fast the simulator itself runs on the host — simulated
+// packets per host-CPU-second — because that is what bounds every sweep in
+// the repo. The macro section re-runs the paper's headline fig9
+// configuration (Multi 2x HT, 8 web instances on the Xeon) and times it
+// with a host clock; the micro section isolates the three hot mechanisms
+// the data-path fast paths target: packet buffer allocation (PacketPool),
+// stream buffering (ByteRing), and event scheduling (EventQueue).
+//
+// The committed BENCH_ext_perf.json is the perf trajectory every later PR
+// is judged against: scripts/check.sh --perf re-runs this binary and fails
+// on a >10% regression of fig9_pkts_per_host_sec. The `baseline_*` keys
+// record the pre-fast-path measurement (same host class) so the speedup is
+// auditable from the JSON alone.
+#include <chrono>
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "ipc/byte_ring.hpp"
+#include "net/packet.hpp"
+#include "net/packet_pool.hpp"
+
+using namespace neat;
+using namespace neat::bench;
+
+namespace {
+
+// Pre-PR wall-clock measurement of the same fig9 configuration, recorded
+// on the container this repo's benches run in (see EXPERIMENTS.md). These
+// are the `baseline_` keys the acceptance gate compares against.
+constexpr double kBaselineFig9PktsPerHostSec = 76000.0;
+constexpr double kBaselineFig9WallSec = 4.30;
+constexpr double kBaselineFig9Krps = 316.7;
+
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// --- micro: packet allocation ---------------------------------------------
+
+void micro_packets(JsonWriter& json, bool pooled, std::size_t iters) {
+  net::PacketPool pool;
+  std::optional<net::PacketPool::Use> use;
+  if (pooled) use.emplace(pool);
+  std::uint8_t payload[1460];
+  std::memset(payload, 0xab, sizeof payload);
+  const std::size_t sizes[] = {64, 256, 1460};
+  const auto t0 = Clock::now();
+  std::uint64_t made = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    for (const std::size_t sz : sizes) {
+      auto p = net::Packet::of({payload, sz});
+      p->push(54);  // typical eth+ip+tcp header push
+      ++made;
+    }
+  }
+  const double dt = secs_since(t0);
+  const char* tag = pooled ? "micro_packet_pooled" : "micro_packet_heap";
+  std::printf("%-28s %12.0f packets/s\n", tag,
+              static_cast<double>(made) / dt);
+  json.add(std::string(tag) + "_per_sec", static_cast<double>(made) / dt);
+  if (pooled) {
+    const auto& st = pool.stats();
+    json.add("micro_pool_fresh", st.fresh);
+    json.add("micro_pool_reused", st.reused);
+    json.add("micro_pool_recycled", st.recycled);
+  }
+}
+
+// --- micro: stream ring ----------------------------------------------------
+
+void micro_ring(JsonWriter& json, std::size_t iters) {
+  ipc::ByteRing ring(96 * 1024);
+  std::uint8_t chunk[1460];
+  std::uint8_t out[1460];
+  std::memset(chunk, 0x5a, sizeof chunk);
+  const auto t0 = Clock::now();
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    // Fill-then-drain in MSS chunks: the TcpSocket stream pattern.
+    while (ring.writable() >= sizeof chunk) bytes += ring.write(chunk);
+    while (ring.readable() > 0) ring.read(out);
+  }
+  const double dt = secs_since(t0);
+  const double gbps = static_cast<double>(bytes) / dt / 1e9;
+  std::printf("%-28s %12.2f GB/s\n", "micro_ring_fill_drain", gbps);
+  json.add("micro_ring_gb_per_sec", gbps);
+}
+
+// --- micro: event queue ----------------------------------------------------
+
+void micro_events(JsonWriter& json, std::size_t iters) {
+  sim::EventQueue q;
+  const auto t0 = Clock::now();
+  std::uint64_t fired = 0;
+  for (std::size_t round = 0; round < iters; ++round) {
+    sim::EventHandle handles[64];
+    for (int i = 0; i < 64; ++i) {
+      handles[i] =
+          q.schedule(static_cast<sim::SimTime>(i + 1), [&fired] { ++fired; });
+    }
+    for (int i = 0; i < 64; i += 2) handles[i].cancel();  // half cancelled
+    q.run();
+  }
+  const double dt = secs_since(t0);
+  const double rate = static_cast<double>(iters) * 64.0 / dt;
+  std::printf("%-28s %12.0f sched+fire/s (%llu fired)\n", "micro_event_queue",
+              rate, static_cast<unsigned long long>(fired));
+  json.add("micro_events_per_sec", rate);
+}
+
+// --- macro: the fig9 headline configuration -------------------------------
+
+void macro_fig9(JsonWriter& json, sim::SimTime warmup, sim::SimTime measure) {
+  Testbed::Config cfg;
+  cfg.seed = 12345;
+  cfg.server_machine = sim::intel_xeon_e5520();
+  Testbed tb(cfg);  // installs its own PacketPool for the simulation
+  net::PacketPool& pool = tb.pool;
+
+  NeatServerOptions so;
+  so.multi_component = true;
+  so.replicas = 2;
+  so.webs = 8;
+  so.files = {{"/file20", 20}};
+  so.placement = xeon_placement(true, 2, 8, /*ht=*/true);
+  ServerRig server = build_neat_server(tb, so);
+  ClientOptions co;
+  co.generators = 12;
+  co.concurrency_per_gen = 24;
+  co.requests_per_conn = 100;
+  co.path = "/file20";
+  ClientRig client = build_client(tb, co, 8);
+  prepopulate_arp(server, client);
+
+  const auto t0 = Clock::now();
+  const RunResult res = run_window(tb, client, warmup, measure);
+  const double wall = secs_since(t0);
+
+  const auto& nic = tb.server_nic.stats();
+  const double pkts =
+      static_cast<double>(nic.rx_frames) + static_cast<double>(nic.tx_frames);
+  const double pkts_per_host_sec = pkts / wall;
+  const double events_per_host_sec =
+      static_cast<double>(tb.sim.queue().executed()) / wall;
+  const auto& ps = pool.stats();
+  const double mallocs_per_pkt =
+      pkts > 0 ? static_cast<double>(ps.fresh) / pkts : 0.0;
+  const double reuse_frac =
+      ps.fresh + ps.reused > 0
+          ? static_cast<double>(ps.reused) /
+                static_cast<double>(ps.fresh + ps.reused)
+          : 0.0;
+
+  std::printf("\nfig9 Multi 2x HT, 8 webs (%.0f ms simulated):\n",
+              static_cast<double>(warmup + measure) / 1e6);
+  std::printf("  krps                 %12.1f\n", res.krps);
+  std::printf("  wall                 %12.2f s\n", wall);
+  std::printf("  sim packets          %12.0f\n", pkts);
+  std::printf("  pkts / host-sec      %12.0f\n", pkts_per_host_sec);
+  std::printf("  events / host-sec    %12.0f\n", events_per_host_sec);
+  std::printf("  buffer mallocs/pkt   %12.3f (pool reuse %.1f%%)\n",
+              mallocs_per_pkt, reuse_frac * 100.0);
+
+  json.add("fig9_krps", res.krps);
+  json.add("fig9_requests", res.requests);
+  json.add("fig9_wall_sec", wall);
+  json.add("fig9_sim_packets", pkts);
+  json.add("fig9_pkts_per_host_sec", pkts_per_host_sec);
+  json.add("fig9_events_per_host_sec", events_per_host_sec);
+  json.add("fig9_buffer_mallocs_per_packet", mallocs_per_pkt);
+  json.add("fig9_pool_reuse_fraction", reuse_frac);
+  json.add("pool_fresh", ps.fresh);
+  json.add("pool_reused", ps.reused);
+  json.add("pool_recycled", ps.recycled);
+  json.add("pool_dropped_full", ps.dropped_full);
+
+  json.add("baseline_fig9_pkts_per_host_sec", kBaselineFig9PktsPerHostSec);
+  json.add("baseline_fig9_wall_sec", kBaselineFig9WallSec);
+  json.add("baseline_fig9_krps", kBaselineFig9Krps);
+  if (kBaselineFig9PktsPerHostSec > 0) {
+    const double speedup = pkts_per_host_sec / kBaselineFig9PktsPerHostSec;
+    std::printf("  speedup vs baseline  %12.2fx (pre-PR %0.0f pkts/host-s)\n",
+                speedup, kBaselineFig9PktsPerHostSec);
+    json.add("fig9_speedup_vs_baseline", speedup);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  header("ext_perf: simulator wall-clock throughput (host-time measured)");
+  // --quick: one short pass (sanitizer runs); full mode sizes the micro
+  // loops for stable wall-clock numbers.
+  const bool quick = has_flag(argc, argv, "--quick");
+  JsonWriter json;
+  json.add("quick_mode", quick);
+
+  const std::size_t pkt_iters = quick ? 20'000 : 400'000;
+  const std::size_t ring_iters = quick ? 2'000 : 40'000;
+  const std::size_t ev_iters = quick ? 5'000 : 100'000;
+
+  micro_packets(json, /*pooled=*/false, pkt_iters);
+  micro_packets(json, /*pooled=*/true, pkt_iters);
+  micro_ring(json, ring_iters);
+  micro_events(json, ev_iters);
+
+  const sim::SimTime warmup = quick ? 50 * sim::kMillisecond : kWarmup;
+  const sim::SimTime measure = quick ? 50 * sim::kMillisecond : kMeasure;
+  macro_fig9(json, warmup, measure);
+
+  if (!quick) json.write("ext_perf");
+  return 0;
+}

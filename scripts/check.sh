@@ -1,29 +1,74 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 build + test cycle, then a sanitizer pass
 # over the suites where lifetime bugs hide (IPC teardown, observability
-# ring/export, chaos supervision).
+# ring/export, chaos supervision) plus a quick ext_perf pass (the packet
+# pool and event-queue fast paths recycle memory; ASan must see them).
 #
-# Usage: scripts/check.sh [--skip-sanitize]
+# Usage: scripts/check.sh [--skip-sanitize] [--perf]
+#
+# --perf additionally runs the full ext_perf bench and fails on a >10%
+# regression of fig9_pkts_per_host_sec against the committed
+# BENCH_ext_perf.json (the perf trajectory gate; see EXPERIMENTS.md).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
+
+SKIP_SANITIZE=0
+RUN_PERF=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitize) SKIP_SANITIZE=1 ;;
+    --perf) RUN_PERF=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier 1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-if [[ "${1:-}" == "--skip-sanitize" ]]; then
+if [[ "$SKIP_SANITIZE" == 1 ]]; then
   echo "== sanitizer pass skipped =="
-  exit 0
+else
+  echo "== sanitizer pass: ASan+UBSan on test_ipc / test_obs / test_chaos / ext_perf =="
+  cmake -B build-asan -S . -DNEAT_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$JOBS" \
+    --target test_ipc test_obs test_chaos test_fastpath ext_perf
+  ./build-asan/tests/test_ipc
+  ./build-asan/tests/test_obs
+  ./build-asan/tests/test_chaos
+  ./build-asan/tests/test_fastpath
+  # One short end-to-end pass over the pooled data path under ASan: buffer
+  # recycling must be invisible to the sanitizer.
+  (cd build-asan/bench && ./ext_perf --quick)
 fi
 
-echo "== sanitizer pass: ASan+UBSan on test_ipc / test_obs / test_chaos =="
-cmake -B build-asan -S . -DNEAT_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$JOBS" --target test_ipc test_obs test_chaos
-./build-asan/tests/test_ipc
-./build-asan/tests/test_obs
-./build-asan/tests/test_chaos
+if [[ "$RUN_PERF" == 1 ]]; then
+  echo "== perf gate: ext_perf vs committed BENCH_ext_perf.json =="
+  if [[ ! -f BENCH_ext_perf.json ]]; then
+    echo "no committed BENCH_ext_perf.json to compare against" >&2
+    exit 1
+  fi
+  (cd build/bench && ./ext_perf)
+  python3 - <<'EOF'
+import json, sys
+
+def key(path, k):
+    with open(path) as f:
+        return float(json.load(f)[k])
+
+committed = key("BENCH_ext_perf.json", "fig9_pkts_per_host_sec")
+current = key("build/bench/BENCH_ext_perf.json", "fig9_pkts_per_host_sec")
+ratio = current / committed
+print(f"fig9_pkts_per_host_sec: committed {committed:.0f}, "
+      f"current {current:.0f} ({ratio:.2f}x)")
+if ratio < 0.90:
+    print("FAIL: >10% wall-clock throughput regression", file=sys.stderr)
+    sys.exit(1)
+print("perf gate passed")
+EOF
+fi
 
 echo "== all checks passed =="

@@ -19,7 +19,16 @@ Testbed::Testbed(Config config)
       client_machine(sim.add_machine(cfg.client_machine)),
       server_nic(sim, net::MacAddr::local(1), kServerIp, cfg.server_nic),
       client_nic(sim, net::MacAddr::local(2), kClientIp, cfg.client_nic),
-      link(sim, server_nic, client_nic, cfg.link) {}
+      link(sim, server_nic, client_nic, cfg.link) {
+  pool.bind(sim.obs());
+}
+
+Testbed::~Testbed() {
+  // The obs hub dies with `sim`, before `pool`; packets released during
+  // simulator teardown (closures in the event queue hold PacketPtrs) must
+  // not bump freed counters.
+  pool.unbind();
+}
 
 // ---------------------------------------------------------------------------
 // Placements

@@ -16,7 +16,9 @@
 #include "apps/http_server.hpp"
 #include "apps/loadgen.hpp"
 #include "baseline/linux.hpp"
+#include "ipc/channel.hpp"
 #include "neat/host.hpp"
+#include "net/packet_pool.hpp"
 #include "nic/nic.hpp"
 #include "sim/simulator.hpp"
 #include "socklib/socklib.hpp"
@@ -43,6 +45,28 @@ class Testbed {
   };
 
   explicit Testbed(Config cfg);
+  ~Testbed();
+
+  /// Channel-registry hygiene: the registry is a process-wide static, so a
+  /// channel leaked past its simulator would silently poison the next
+  /// test's accounting sweep. Captured at construction, checked when the
+  /// testbed (and everything pinned to it) is gone — first member, so it
+  /// is destroyed after every channel this testbed transitively owns.
+  struct RegistryGuard {
+    std::size_t baseline{ipc::channel_registry().size()};
+    ~RegistryGuard() {
+      assert(ipc::channel_registry().size() == baseline &&
+             "channel outlived its simulator (dangling registry entry)");
+      if (baseline == 0) ipc::channel_registry_reset();
+    }
+  };
+  RegistryGuard registry_guard;
+
+  /// Per-simulator packet-buffer freelist, installed (thread-locally) for
+  /// the lifetime of the testbed: every Packet::make inside the simulation
+  /// recycles buffers instead of hitting the allocator.
+  net::PacketPool pool;
+  net::PacketPool::Use pool_use{pool};
 
   sim::Simulator sim;
   Config cfg;

@@ -75,6 +75,12 @@ inline ChannelBase::~ChannelBase() {
   reg.erase(std::remove(reg.begin(), reg.end(), this), reg.end());
 }
 
+/// Explicit reset of the process-wide registry. The registry is a
+/// function-local static, so it outlives every simulator; harnesses call
+/// this between simulations (after asserting it drained) so an entry leaked
+/// by one test can never alias a later simulation's audit sweep.
+inline void channel_registry_reset() { channel_registry().clear(); }
+
 /// A typed, bounded, unidirectional channel into `consumer`.
 ///
 /// `cost_fn(msg)` gives the CPU cycles the consumer spends handling the
@@ -120,7 +126,7 @@ class Channel : public ChannelBase {
     auto& sim = consumer_->sim();
     const auto epoch = consumer_->epoch();
     const sim::SimTime sent_at = sim.now();
-    sim.queue().schedule(
+    sim.queue().post(
         latency_, [this, epoch, sent_at, msg = std::move(msg)]() mutable {
           if (consumer_->crashed() || consumer_->epoch() != epoch) {
             // Died in transfer: the consumer (or its incarnation) is gone.

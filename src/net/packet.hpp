@@ -4,26 +4,127 @@
 // header (checksums included) on transmit and parses it on receive, so the
 // protocol code in this repository is testable against the actual formats —
 // only the passage of time is simulated.
+//
+// Buffers come from an optional per-simulator freelist (net::PacketPool,
+// installed with a PacketPool::Use scope): a dropped packet returns its
+// byte vector to the pool, and the next Packet::make of a similar size
+// reuses it instead of calling the allocator. Reused buffers are
+// indistinguishable from fresh ones — same size, same headroom, zeroed.
+// Without an installed pool every buffer is plain heap (bare unit tests).
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace neat::net {
 
 class Packet;
 using PacketPtr = std::shared_ptr<Packet>;
 
+namespace detail {
+
+/// Shared freelist state. Lives behind a shared_ptr: every pooled Packet
+/// holds a reference, so buffers recycle safely no matter which of the
+/// pool and the packet dies first.
+struct PoolCore {
+  /// Buffers are bucketed by capacity: bucket b holds kMinBytes << b.
+  static constexpr std::size_t kMinBytes = 128;
+  static constexpr std::size_t kBuckets = 12;  // up to 256 KiB
+  /// Retention cap per bucket; beyond it returned buffers are freed.
+  static constexpr std::size_t kMaxPerBucket = 4096;
+
+  struct Stats {
+    std::uint64_t fresh{0};         ///< buffers the allocator provided
+    std::uint64_t reused{0};        ///< buffers served from the freelist
+    std::uint64_t recycled{0};      ///< buffers accepted back
+    std::uint64_t dropped_full{0};  ///< returns refused (bucket at cap)
+  };
+
+  std::array<std::vector<std::vector<std::uint8_t>>, kBuckets> free;
+  Stats stats;
+  // Optional live export (PacketPool::bind); null until bound.
+  obs::Counter* fresh_ctr{nullptr};
+  obs::Counter* reused_ctr{nullptr};
+  obs::Counter* recycled_ctr{nullptr};
+
+  /// Bucket that serves a request of `n` bytes, or -1 if oversized.
+  [[nodiscard]] static int bucket_for(std::size_t n) {
+    if (n <= kMinBytes) return 0;
+    const int b = std::bit_width(n - 1) - 7;  // ceil(log2(n)) - log2(128)
+    return b < static_cast<int>(kBuckets) ? b : -1;
+  }
+
+  /// Largest bucket a buffer of `capacity` can serve (floor), or -1.
+  [[nodiscard]] static int bucket_of_capacity(std::size_t capacity) {
+    if (capacity < kMinBytes) return -1;
+    const int b = std::bit_width(capacity) - 8;  // floor(log2(cap)) - 7
+    return b < static_cast<int>(kBuckets) ? b
+                                          : static_cast<int>(kBuckets) - 1;
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take(std::size_t need) {
+    const int b = bucket_for(need);
+    if (b >= 0 && !free[static_cast<std::size_t>(b)].empty()) {
+      auto& bucket = free[static_cast<std::size_t>(b)];
+      std::vector<std::uint8_t> buf = std::move(bucket.back());
+      bucket.pop_back();
+      ++stats.reused;
+      if (reused_ctr != nullptr) reused_ctr->inc();
+      buf.assign(need, 0);  // same size and contents as a fresh buffer
+      return buf;
+    }
+    ++stats.fresh;
+    if (fresh_ctr != nullptr) fresh_ctr->inc();
+    std::vector<std::uint8_t> buf;
+    // Round the capacity up to the bucket size so the buffer lands back in
+    // the bucket that served it (and assign() below never reallocates).
+    if (b >= 0) buf.reserve(kMinBytes << b);
+    buf.assign(need, 0);
+    return buf;
+  }
+
+  void give(std::vector<std::uint8_t>&& buf) {
+    const int b = bucket_of_capacity(buf.capacity());
+    if (b < 0 || free[static_cast<std::size_t>(b)].size() >= kMaxPerBucket) {
+      ++stats.dropped_full;
+      return;  // buf freed normally
+    }
+    ++stats.recycled;
+    if (recycled_ctr != nullptr) recycled_ctr->inc();
+    free[static_cast<std::size_t>(b)].push_back(std::move(buf));
+  }
+};
+
+/// Pool installed for the current thread (the sim is single-threaded; this
+/// is a plain pointer swap per PacketPool::Use scope, not a lock).
+[[nodiscard]] inline const std::shared_ptr<PoolCore>*& current_pool() {
+  thread_local const std::shared_ptr<PoolCore>* cur = nullptr;
+  return cur;
+}
+
+}  // namespace detail
+
 class Packet {
  public:
   static constexpr std::size_t kDefaultHeadroom = 64;
 
   /// Allocate with `payload` bytes of content and room to prepend headers.
+  /// Served from the installed PacketPool when one is in scope.
   [[nodiscard]] static PacketPtr make(std::size_t payload,
                                       std::size_t headroom = kDefaultHeadroom) {
+    if (const auto* pool = detail::current_pool()) {
+      return std::make_shared<Packet>((*pool)->take(headroom + payload),
+                                      headroom, *pool);
+    }
     return std::make_shared<Packet>(payload, headroom);
   }
 
@@ -31,17 +132,38 @@ class Packet {
   [[nodiscard]] static PacketPtr of(std::span<const std::uint8_t> data,
                                     std::size_t headroom = kDefaultHeadroom) {
     auto p = make(data.size(), headroom);
-    auto b = p->bytes();
-    for (std::size_t i = 0; i < data.size(); ++i) b[i] = data[i];
+    if (!data.empty()) {
+      std::memcpy(p->buf_.data() + p->head_, data.data(), data.size());
+    }
     return p;
   }
 
   Packet(std::size_t payload, std::size_t headroom)
       : buf_(headroom + payload), head_(headroom) {}
 
-  /// Deep copy (duplication injection, loopback).
+  /// Pooled buffer (already sized headroom + payload, zeroed); returns to
+  /// `core` on destruction.
+  Packet(std::vector<std::uint8_t> buf, std::size_t headroom,
+         std::shared_ptr<detail::PoolCore> core)
+      : buf_(std::move(buf)), head_(headroom), core_(std::move(core)) {}
+
+  Packet(const Packet&) = delete;
+  Packet& operator=(const Packet&) = delete;
+
+  ~Packet() {
+    if (core_) core_->give(std::move(buf_));
+  }
+
+  /// Deep copy (duplication injection, loopback). Pool-aware: the copy's
+  /// buffer comes from the installed pool like any other allocation.
   [[nodiscard]] PacketPtr clone() const {
-    auto p = std::make_shared<Packet>(*this);
+    auto p = make(size(), head_);
+    if (size() > 0) {
+      std::memcpy(p->buf_.data() + p->head_, buf_.data() + head_, size());
+    }
+    p->rx_queue = rx_queue;
+    p->tso = tso;
+    p->nic_rx_time = nic_rx_time;
     return p;
   }
 
@@ -88,6 +210,7 @@ class Packet {
  private:
   std::vector<std::uint8_t> buf_;
   std::size_t head_;
+  std::shared_ptr<detail::PoolCore> core_;
 };
 
 }  // namespace neat::net

@@ -1,0 +1,71 @@
+// Per-simulator freelist of packet buffers.
+//
+// The data path allocates and frees a byte vector per packet — two
+// allocator round-trips per frame, tens of millions per bench run. A
+// PacketPool short-circuits them: when a pooled Packet dies its buffer
+// goes back to a capacity-bucketed freelist, and the next Packet::make of
+// a similar size reuses it. Install with a PacketPool::Use scope (the
+// harness Testbed does this; bare unit tests that never install a pool
+// get plain heap buffers and are unaffected).
+//
+// Reused buffers are fully reinitialized — same size, same headroom, all
+// bytes zeroed — so pooling is observationally transparent; the property
+// test in tests/test_fastpath.cpp pins this down.
+#pragma once
+
+#include <memory>
+
+#include "net/packet.hpp"
+#include "obs/obs.hpp"
+
+namespace neat::net {
+
+class PacketPool {
+ public:
+  using Stats = detail::PoolCore::Stats;
+
+  PacketPool() : core_(std::make_shared<detail::PoolCore>()) {}
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Export live alloc/recycle counters through the simulation's
+  /// observability hub (pool.fresh / pool.reused / pool.recycled).
+  void bind(obs::Hub& hub) {
+    core_->fresh_ctr = &hub.metrics.counter("pool.fresh");
+    core_->reused_ctr = &hub.metrics.counter("pool.reused");
+    core_->recycled_ctr = &hub.metrics.counter("pool.recycled");
+  }
+
+  /// Detach from the hub. Must be called before the hub dies if the pool
+  /// (or any pooled packet) can outlive it — buffers released during
+  /// simulator teardown would otherwise bump freed counters.
+  void unbind() {
+    core_->fresh_ctr = nullptr;
+    core_->reused_ctr = nullptr;
+    core_->recycled_ctr = nullptr;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return core_->stats; }
+
+  /// RAII install scope: while alive, every Packet::make on this thread is
+  /// served by this pool. Nests (restores the previous pool on exit).
+  class Use {
+   public:
+    explicit Use(PacketPool& pool) : prev_(detail::current_pool()) {
+      detail::current_pool() = &pool.core_;
+    }
+    ~Use() { detail::current_pool() = prev_; }
+
+    Use(const Use&) = delete;
+    Use& operator=(const Use&) = delete;
+
+   private:
+    const std::shared_ptr<detail::PoolCore>* prev_;
+  };
+
+ private:
+  std::shared_ptr<detail::PoolCore> core_;
+};
+
+}  // namespace neat::net

@@ -459,8 +459,12 @@ void TcpSocket::accept_data(const TcpHeader& h, const PacketPtr& payload) {
   } else {
     // Out of order: stash (bounded) and signal the hole with a dup ack.
     ++stack_.stats_.ooo_segments;
-    if (ooo_bytes_ + len <= cfg_.recv_buf * 2 && !ooo_.contains(seg_seq)) {
-      ooo_[seg_seq].assign(data.begin(), data.end());
+    auto it = std::lower_bound(
+        ooo_.begin(), ooo_.end(), seg_seq,
+        [](const OooSeg& s, std::uint32_t q) { return s.seq < q; });
+    const bool have = it != ooo_.end() && it->seq == seg_seq;
+    if (ooo_bytes_ + len <= cfg_.recv_buf * 2 && !have) {
+      ooo_.insert(it, OooSeg{seg_seq, {data.begin(), data.end()}});
       ooo_bytes_ += len;
     }
     send_ack_now();
@@ -478,8 +482,8 @@ void TcpSocket::deliver_in_order() {
   while (progressed && !ooo_.empty()) {
     progressed = false;
     for (auto it = ooo_.begin(); it != ooo_.end();) {
-      const std::uint32_t seq = it->first;
-      auto& bytes = it->second;
+      const std::uint32_t seq = it->seq;
+      auto& bytes = it->bytes;
       const auto len = static_cast<std::uint32_t>(bytes.size());
       if (seq_ge(rcv_nxt_, seq + len)) {
         ooo_bytes_ -= bytes.size();
@@ -545,7 +549,7 @@ void TcpSocket::try_output() {
     ++snd_nxt_;
   }
 
-  if (inflight() > 0 && !rto_timer_.pending()) arm_rto();
+  if (inflight() > 0 && rto_deadline_ == 0) arm_rto();
 }
 
 void TcpSocket::emit_segment(std::uint32_t seq, std::size_t len, bool fin,
@@ -610,14 +614,37 @@ void TcpSocket::schedule_ack(std::size_t new_bytes) {
 }
 
 void TcpSocket::arm_rto() {
+  const sim::SimTime now = stack_.env().now();
+  rto_deadline_ = now + rto_;
+  // Keep the pending event if it fires no later than the new deadline: it
+  // re-checks the deadline and sleeps the remainder (rto_tick). Only a
+  // deadline earlier than the pending event (rto_ shrank) reschedules.
+  if (rto_timer_.pending() && rto_fire_at_ <= rto_deadline_) return;
   rto_timer_.cancel();
+  rto_fire_at_ = rto_deadline_;
   auto wp = weak_from_this();
-  rto_timer_ = stack_.env().start_timer(rto_, [wp] {
-    if (auto sp = wp.lock()) sp->on_rto();
+  rto_timer_ = stack_.env().start_timer(rto_deadline_ - now, [wp] {
+    if (auto sp = wp.lock()) sp->rto_tick();
   });
 }
 
-void TcpSocket::disarm_rto() { rto_timer_.cancel(); }
+void TcpSocket::disarm_rto() { rto_deadline_ = 0; }
+
+void TcpSocket::rto_tick() {
+  if (rto_deadline_ == 0) return;  // disarmed while the event was in flight
+  const sim::SimTime now = stack_.env().now();
+  if (now < rto_deadline_) {
+    // Re-armed since this event was scheduled: sleep the remainder.
+    rto_fire_at_ = rto_deadline_;
+    auto wp = weak_from_this();
+    rto_timer_ = stack_.env().start_timer(rto_deadline_ - now, [wp] {
+      if (auto sp = wp.lock()) sp->rto_tick();
+    });
+    return;
+  }
+  rto_deadline_ = 0;
+  on_rto();
+}
 
 void TcpSocket::on_rto() {
   ++retries_;
@@ -967,6 +994,7 @@ void TcpStack::destroy_all_state() {
   for (auto& [key, sock] : conns) {
     sock->state_ = TcpState::kClosed;
     sock->rto_timer_.cancel();
+    sock->rto_deadline_ = 0;
     sock->ack_timer_.cancel();
     sock->time_wait_timer_.cancel();
   }

@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -222,6 +221,7 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   void schedule_ack(std::size_t new_bytes);
   void arm_rto();
   void disarm_rto();
+  void rto_tick();
   void on_rto();
   void update_rtt(sim::SimTime measured);
   void enter_time_wait();
@@ -267,12 +267,25 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   bool fin_received_{false};
   bool fin_seen_{false};  // peer's FIN observed but maybe not yet in order
   std::uint32_t fin_rcv_seq_{0};
-  std::map<std::uint32_t, std::vector<std::uint8_t>> ooo_;
+  /// Out-of-order segments, sorted by raw sequence number (the same order
+  /// the std::map this replaces iterated in). Reordering windows hold a
+  /// handful of segments, so a sorted vector beats a node-based map: no
+  /// per-segment node allocation and linear scans stay in cache.
+  struct OooSeg {
+    std::uint32_t seq;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<OooSeg> ooo_;
   std::size_t ooo_bytes_{0};
   bool delivering_{false};  // reentrancy guard for deliver_in_order()
 
-  // Timers.
+  // Timers. The RTO is lazily re-armed: every ACK just moves
+  // rto_deadline_ forward; the scheduled event re-checks the deadline when
+  // it fires and sleeps the remainder, so the common path (ACK per
+  // round-trip) is two stores instead of a cancel + reschedule.
   sim::EventHandle rto_timer_;
+  sim::SimTime rto_deadline_{0};  // 0 = disarmed
+  sim::SimTime rto_fire_at_{0};   // when the pending event fires
   sim::EventHandle ack_timer_;
   sim::EventHandle time_wait_timer_;
   int retries_{0};

@@ -3,44 +3,127 @@
 // Events scheduled for the same virtual time fire in schedule order (FIFO),
 // which makes every run with the same seed bit-for-bit reproducible — a
 // property the NEaT test suite relies on (DESIGN.md invariant 7).
+//
+// The queue is the hottest structure in the whole simulator (tens of
+// millions of events per bench run), so it is built for allocation-free
+// steady state:
+//
+//  * heap entries are 24-byte PODs — sift operations never move closures;
+//  * callbacks live in a recycled slot table addressed by (index,
+//    generation); cancellation is a generation check, not a heap-allocated
+//    shared flag per event;
+//  * post()/post_at() skip EventHandle construction entirely for
+//    fire-and-forget events (the vast majority: channel deliveries, NIC
+//    wire arrivals, process wake-ups).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace neat::sim {
 
+namespace detail {
+
+/// Callback storage shared between the queue and its handles. Kept alive by
+/// outstanding EventHandles so cancel()/pending() stay safe even after the
+/// queue itself is destroyed (the queue clears all closures on destruction,
+/// so no user object is pinned past the simulation).
+struct EventSlots {
+  struct Slot {
+    SmallFn fn;
+    std::uint32_t gen{0};
+    bool armed{false};
+  };
+  std::vector<Slot> slots;
+  std::vector<std::uint32_t> free;
+
+  std::uint32_t acquire(SmallFn fn) {
+    std::uint32_t idx;
+    if (!free.empty()) {
+      idx = free.back();
+      free.pop_back();
+    } else {
+      idx = static_cast<std::uint32_t>(slots.size());
+      slots.emplace_back();
+    }
+    Slot& s = slots[idx];
+    s.fn = std::move(fn);
+    s.armed = true;
+    return idx;
+  }
+
+  /// Retire a slot once its heap entry has been popped; bumps the
+  /// generation so stale handles (and stale heap entries) can never match.
+  void release(std::uint32_t idx) {
+    Slot& s = slots[idx];
+    s.fn.reset();
+    s.armed = false;
+    ++s.gen;
+    free.push_back(idx);
+  }
+};
+
+}  // namespace detail
+
 /// Handle to a scheduled event. Allows O(1) cancellation; cancelled events
-/// are skipped (and destroyed) when they reach the head of the queue.
+/// are skipped (and their slots recycled) when they reach the head of the
+/// queue.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Cancel the event if it has not fired yet. Idempotent.
+  /// Cancel the event if it has not fired yet. Idempotent. Releases the
+  /// closure (and anything it captured) immediately.
   void cancel() {
-    if (auto p = alive_.lock()) *p = false;
+    if (pending()) {
+      auto& s = slots_->slots[idx_];
+      s.fn.reset();
+      s.armed = false;  // slot itself is recycled when the entry pops
+    }
   }
 
   /// True while the event is scheduled and not cancelled or fired.
   [[nodiscard]] bool pending() const {
-    auto p = alive_.lock();
-    return p && *p;
+    if (!slots_) return false;
+    const auto& s = slots_->slots[idx_];
+    return s.armed && s.gen == gen_;
   }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::weak_ptr<bool> alive_;
+  EventHandle(std::shared_ptr<detail::EventSlots> slots, std::uint32_t idx,
+              std::uint32_t gen)
+      : slots_(std::move(slots)), idx_(idx), gen_(gen) {}
+
+  std::shared_ptr<detail::EventSlots> slots_;
+  std::uint32_t idx_{0};
+  std::uint32_t gen_{0};
 };
 
 /// Min-heap of timestamped callbacks with deterministic tie-breaking.
 class EventQueue {
  public:
+  EventQueue() : slots_(std::make_shared<detail::EventSlots>()) {}
+
+  ~EventQueue() {
+    // Drop every outstanding closure now: callbacks may capture sockets or
+    // packets that must not outlive the simulation just because some
+    // EventHandle still exists somewhere.
+    for (auto& s : slots_->slots) {
+      s.fn.reset();
+      s.armed = false;
+      ++s.gen;
+    }
+  }
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Current virtual time. Advances only inside run_until()/step().
   [[nodiscard]] SimTime now() const { return now_; }
 
@@ -48,33 +131,46 @@ class EventQueue {
   [[nodiscard]] std::size_t size() const { return live_; }
   [[nodiscard]] bool empty() const { return live_ == 0; }
 
+  /// Total events executed since construction (wall-clock perf accounting:
+  /// ext_perf reports events per host-second).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
   /// Schedule `fn` to run at absolute time `at` (>= now). Times in the past
   /// are clamped to `now` — firing immediately on the next step.
-  EventHandle schedule_at(SimTime at, std::function<void()> fn) {
-    if (at < now_) at = now_;
-    auto alive = std::make_shared<bool>(true);
-    heap_.push(Event{at, seq_++, std::move(fn), alive});
-    ++live_;
-    return EventHandle{alive};
+  EventHandle schedule_at(SimTime at, SmallFn fn) {
+    const std::uint32_t idx = push(at, std::move(fn));
+    return EventHandle{slots_, idx, slots_->slots[idx].gen};
   }
 
   /// Schedule `fn` to run `delay` ns from now.
-  EventHandle schedule(SimTime delay, std::function<void()> fn) {
+  EventHandle schedule(SimTime delay, SmallFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
+
+  /// Fire-and-forget variants: no handle, no cancellation, no shared_ptr
+  /// traffic. The fast path for every message delivery.
+  void post_at(SimTime at, SmallFn fn) { push(at, std::move(fn)); }
+  void post(SimTime delay, SmallFn fn) { push(now_ + delay, std::move(fn)); }
 
   /// Run the earliest pending event, advancing time to it.
   /// Returns false if there is nothing left to run.
   bool step() {
     while (!heap_.empty()) {
-      // Copy out then pop so the callback may schedule new events freely.
-      Event ev = heap_.top();
+      const Entry e = heap_.top();
       heap_.pop();
-      if (!*ev.alive) continue;  // cancelled: discard silently
-      *ev.alive = false;
+      auto& slot = slots_->slots[e.slot];
+      if (slot.gen != e.gen) continue;  // slot already recycled (stale)
+      if (!slot.armed) {                // cancelled: recycle silently
+        slots_->release(e.slot);
+        --live_;
+        continue;
+      }
+      SmallFn fn = std::move(slot.fn);
+      slots_->release(e.slot);
       --live_;
-      now_ = ev.time;
-      ev.fn();
+      ++executed_;
+      now_ = e.time;
+      fn();
       return true;
     }
     return false;
@@ -84,8 +180,14 @@ class EventQueue {
   /// `deadline`. Time is left at min(deadline, last event time).
   void run_until(SimTime deadline) {
     while (!heap_.empty()) {
-      const Event& top = heap_.top();
-      if (!*top.alive) {  // drop cancelled heads without advancing time
+      const Entry& top = heap_.top();
+      const auto& slot = slots_->slots[top.slot];
+      if (slot.gen != top.gen || !slot.armed) {
+        // Drop cancelled/stale heads without advancing time.
+        if (slot.gen == top.gen) {
+          slots_->release(top.slot);
+          --live_;
+        }
         heap_.pop();
         continue;
       }
@@ -102,23 +204,33 @@ class EventQueue {
   }
 
  private:
-  struct Event {
+  struct Entry {
     SimTime time{};
     std::uint64_t seq{};
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;
+    std::uint32_t slot{};
+    std::uint32_t gen{};
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint32_t push(SimTime at, SmallFn fn) {
+    if (at < now_) at = now_;
+    const std::uint32_t idx = slots_->acquire(std::move(fn));
+    heap_.push(Entry{at, seq_++, idx, slots_->slots[idx].gen});
+    ++live_;
+    return idx;
+  }
+
+  std::shared_ptr<detail::EventSlots> slots_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   SimTime now_{0};
   std::uint64_t seq_{0};
   std::size_t live_{0};
+  std::uint64_t executed_{0};
 };
 
 }  // namespace neat::sim

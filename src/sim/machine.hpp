@@ -12,11 +12,11 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace neat::sim {
@@ -93,8 +93,7 @@ class HwThread {
   /// Queue a job: `cost` cycles of work on behalf of `proc`, then `fn`.
   /// `kernel_cost` extends the occupancy (wake/resume overhead) without
   /// counting as useful processing.
-  void submit(Process& proc, Cycles cost, std::function<void()> fn,
-              Cycles kernel_cost = 0);
+  void submit(Process& proc, Cycles cost, SmallFn fn, Cycles kernel_cost = 0);
 
  private:
   friend class Machine;
@@ -107,7 +106,7 @@ class HwThread {
     Cycles cost;            // useful work -> "processing" bucket
     Cycles kernel_cost{0};  // resume/wake overhead -> occupies time only
                             // (already accounted to the kernel bucket)
-    std::function<void()> fn;
+    SmallFn fn;
     std::uint64_t epoch;  // process epoch when the job was queued
   };
 
@@ -126,7 +125,7 @@ class HwThread {
   void begin_poll(Process& proc);
 
   void start_next();
-  void complete_job(Job job, std::uint64_t epoch);
+  void complete_current();
   [[nodiscard]] double speed_factor() const;
 
   Simulator& sim_;
@@ -137,6 +136,9 @@ class HwThread {
   State state_{State::kIdle};
   std::vector<Job> queue_;  // FIFO via queue_head_
   std::size_t queue_head_{0};
+  /// The single in-flight job (state_ == kExecuting). Held here, not in the
+  /// completion closure, so the completion event captures only `this`.
+  Job current_{};
   std::vector<Process*> pinned_procs_;
   Process* polling_proc_{nullptr};
   SimTime poll_started_{0};

@@ -16,10 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "sim/event_queue.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace neat::sim {
@@ -63,12 +63,24 @@ class Process {
   /// thread, run `fn`. If the process is suspended this first pays the
   /// wake-up penalty. Work posted to a crashed process is silently dropped
   /// (messages to a dead process are lost, exactly as in the real system).
-  void post(Cycles cost, std::function<void()> fn);
+  void post(Cycles cost, SmallFn fn);
 
   /// Schedule work `delay` ns in the future (timers). The job is dropped if
   /// the process crashes or restarts in the meantime — a restarted replica
   /// must never see timers from its previous life.
-  EventHandle after(SimTime delay, Cycles cost, std::function<void()> fn);
+  ///
+  /// Template so the epoch-guard wrapper captures the caller's callable
+  /// directly: the combined closure stays within SmallFn's inline budget
+  /// (a nested SmallFn never would), keeping timers allocation-free.
+  template <typename F>
+  EventHandle after(SimTime delay, Cycles cost, F fn) {
+    const auto epoch = epoch_;
+    return schedule_raw(
+        delay, [this, epoch, cost, fn = std::move(fn)]() mutable {
+          if (crashed_ || epoch_ != epoch) return;
+          post(cost, std::move(fn));
+        });
+  }
 
   /// Whether this process may spin-poll when idle (true for drivers and
   /// stack replicas with a dedicated hardware thread). Processes sharing a
@@ -98,6 +110,9 @@ class Process {
   friend class HwThread;
 
   enum class RunState { kAwake, kPolling, kSuspended, kWaking };
+
+  /// Out-of-line bridge to the event queue (Simulator is incomplete here).
+  EventHandle schedule_raw(SimTime delay, SmallFn fn);
 
   void account_processing(Cycles c) {
     stats_.processing += c;

@@ -12,12 +12,6 @@ namespace neat::sim {
 // HwThread
 // ---------------------------------------------------------------------------
 
-namespace {
-/// One queued unit of work. `kernel_cost` is charged to the kernel bucket
-/// (resume / kernel-assisted wake) before the useful `cost`.
-struct JobTag {};
-}  // namespace
-
 HwThread::HwThread(Simulator& sim, const MachineParams& params, int core_id,
                    int thread_id)
     : sim_(sim), params_(params), core_id_(core_id), thread_id_(thread_id) {}
@@ -29,7 +23,7 @@ double HwThread::speed_factor() const {
   return 1.0;
 }
 
-void HwThread::submit(Process& proc, Cycles cost, std::function<void()> fn,
+void HwThread::submit(Process& proc, Cycles cost, SmallFn fn,
                       Cycles kernel_cost) {
   queue_.push_back(Job{&proc, cost, kernel_cost, std::move(fn), proc.epoch()});
   if (state_ == State::kPolling) preempt_poll();
@@ -53,7 +47,7 @@ void HwThread::begin_poll(Process& proc) {
   polling_proc_ = &proc;
   poll_started_ = sim_.now();
   const auto token = ++run_token_;
-  sim_.queue().schedule(params_.poll_grace, [this, token, p = &proc] {
+  sim_.queue().post(params_.poll_grace, [this, token, p = &proc] {
     if (run_token_ != token || state_ != State::kPolling) return;
     p->account_polling(params_.freq.cycles_in(params_.poll_grace));
     polling_proc_ = nullptr;
@@ -85,17 +79,18 @@ void HwThread::start_next() {
     const auto scaled = static_cast<Cycles>(
         static_cast<double>(job.cost + job.kernel_cost) * params_.work_scale);
     const SimTime dur = params_.freq.duration(scaled, factor);
-    const auto epoch = job.epoch;
-    sim_.queue().schedule(dur, [this, job = std::move(job), epoch]() mutable {
-      complete_job(std::move(job), epoch);
-    });
+    // At most one job executes at a time, so it can live in current_ and the
+    // completion event only needs to capture `this` (fits SmallFn inline).
+    current_ = std::move(job);
+    sim_.queue().post(dur, [this] { complete_current(); });
     return;
   }
 }
 
-void HwThread::complete_job(Job job, std::uint64_t epoch) {
+void HwThread::complete_current() {
+  Job job = std::move(current_);
   Process& p = *job.proc;
-  if (!p.crashed() && p.epoch() == epoch) {
+  if (!p.crashed() && p.epoch() == job.epoch) {
     p.account_processing(job.cost);
     if (p.backlog_ > 0) --p.backlog_;
     if (job.fn) job.fn();
@@ -174,7 +169,7 @@ bool Process::can_poll() const {
   return can_poll_ && thread_ != nullptr && thread_->pinned_count() == 1;
 }
 
-void Process::post(Cycles cost, std::function<void()> fn) {
+void Process::post(Cycles cost, SmallFn fn) {
   assert(thread_ != nullptr && "process must be pinned before receiving work");
   if (crashed_) return;
   ++backlog_;
@@ -198,7 +193,7 @@ void Process::post(Cycles cost, std::function<void()> fn) {
       run_state_ = RunState::kWaking;
     }
     const auto epoch = epoch_;
-    sim_.queue().schedule_at(
+    sim_.queue().post_at(
         wake_deadline_,
         [this, epoch, cost, kernel_cost, fn = std::move(fn)]() mutable {
           if (crashed_ || epoch_ != epoch) return;
@@ -211,14 +206,8 @@ void Process::post(Cycles cost, std::function<void()> fn) {
   thread_->submit(*this, cost, std::move(fn));
 }
 
-EventHandle Process::after(SimTime delay, Cycles cost,
-                           std::function<void()> fn) {
-  const auto epoch = epoch_;
-  return sim_.queue().schedule(delay,
-                               [this, epoch, cost, fn = std::move(fn)]() mutable {
-                                 if (crashed_ || epoch_ != epoch) return;
-                                 post(cost, std::move(fn));
-                               });
+EventHandle Process::schedule_raw(SimTime delay, SmallFn fn) {
+  return sim_.queue().schedule(delay, std::move(fn));
 }
 
 void Process::became_idle() {

@@ -29,9 +29,12 @@ class Simulator {
 
   /// Schedule a raw event (not tied to any process; use Process::after for
   /// component timers so they die with the component).
-  EventHandle schedule(SimTime delay, std::function<void()> fn) {
+  EventHandle schedule(SimTime delay, SmallFn fn) {
     return queue_.schedule(delay, std::move(fn));
   }
+
+  /// Fire-and-forget raw event: no handle, no cancellation (the fast path).
+  void post(SimTime delay, SmallFn fn) { queue_.post(delay, std::move(fn)); }
 
   /// Create a machine owned by the simulator.
   Machine& add_machine(MachineParams params) {

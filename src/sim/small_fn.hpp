@@ -1,0 +1,117 @@
+// Move-only callable with large inline storage.
+//
+// The simulator's hot path is "schedule a closure, fire it once": 18M+
+// closures per bench run. std::function's 16-byte small-buffer means nearly
+// every capture (a PacketPtr plus a timestamp plus a this-pointer already
+// exceeds it) heap-allocates, and the allocator shows up at the top of the
+// wall-clock profile. SmallFn trades memory for allocation-freedom: 80
+// bytes of inline storage covers every closure the data path creates, with
+// a heap fallback for the rare oversized capture. Move-only (closures own
+// packets and sockets; copying them would be a bug anyway).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace neat::sim {
+
+class SmallFn {
+ public:
+  /// Inline capture budget. Sized for the largest hot-path closure
+  /// (Process::post wake path: this + epoch + costs + a nested callable).
+  static constexpr std::size_t kInlineSize = 80;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule()/post() call site
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { steal(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroy the held callable (releases captured resources immediately —
+  /// cancellation paths use this so dead closures don't pin packets).
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char*);
+    void (*destroy)(unsigned char*);
+    void (*relocate)(unsigned char* dst, unsigned char* src);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](unsigned char* b) { (*std::launder(reinterpret_cast<Fn*>(b)))(); },
+      [](unsigned char* b) { std::launder(reinterpret_cast<Fn*>(b))->~Fn(); },
+      [](unsigned char* dst, unsigned char* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (static_cast<void*>(dst)) Fn(std::move(*s));
+        s->~Fn();
+      }};
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](unsigned char* b) {
+        (**std::launder(reinterpret_cast<Fn**>(b)))();
+      },
+      [](unsigned char* b) {
+        delete *std::launder(reinterpret_cast<Fn**>(b));
+      },
+      [](unsigned char* dst, unsigned char* src) {
+        Fn** s = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (static_cast<void*>(dst)) Fn*(*s);
+      }};
+
+  void steal(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace neat::sim

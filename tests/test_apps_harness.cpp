@@ -12,6 +12,9 @@ namespace {
 
 struct AppsFixture : public ::testing::Test {
   void build(int webs = 1, std::function<void(NeatServerOptions&)> mod = {}) {
+    client.reset();  // rigs pin processes to the old testbed's hw threads
+    server.reset();
+    tb.reset();
     Testbed::Config cfg;
     cfg.seed = 13;
     tb = std::make_unique<Testbed>(cfg);

@@ -17,6 +17,11 @@ namespace {
 
 struct CheckpointFixture : public ::testing::Test {
   void build(sim::SimTime interval, int replicas = 2, int webs = 2) {
+    // Tear down in dependency order: the rigs pin processes to the old
+    // testbed's hardware threads, so they must go before the testbed does.
+    client.reset();
+    server.reset();
+    tb.reset();
     Testbed::Config cfg;
     cfg.seed = 404;
     tb = std::make_unique<Testbed>(cfg);

@@ -11,6 +11,9 @@ namespace {
 
 struct RecoveryFixture : public ::testing::Test {
   void build(bool multi, int replicas, int webs = 2) {
+    client.reset();  // rigs pin processes to the old testbed's hw threads
+    server.reset();
+    tb.reset();
     Testbed::Config cfg;
     cfg.seed = 1234;
     tb = std::make_unique<Testbed>(cfg);

@@ -10,6 +10,9 @@ namespace {
 
 struct ReplicaFixture : public ::testing::Test {
   void build(bool multi) {
+    client.reset();  // hosts pin processes to the old testbed's hw threads
+    server.reset();
+    tb.reset();
     Testbed::Config cfg;
     cfg.seed = 31337;
     tb = std::make_unique<Testbed>(cfg);

@@ -9,6 +9,9 @@ namespace {
 
 struct ScalingFixture : public ::testing::Test {
   void build(bool tracking_filters, int replicas = 1) {
+    client.reset();  // rigs pin processes to the old testbed's hw threads
+    server.reset();
+    tb.reset();
     Testbed::Config cfg;
     cfg.seed = 555;
     cfg.server_nic.tracking_filters = tracking_filters;
