@@ -32,17 +32,24 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
   echo "== sanitizer pass skipped =="
 else
-  echo "== sanitizer pass: ASan+UBSan on test_ipc / test_obs / test_chaos / ext_perf =="
+  echo "== sanitizer pass: ASan+UBSan on test_ipc / test_obs / test_chaos / test_workload / test_udp_e2e / ext_perf / ext_workloads =="
   cmake -B build-asan -S . -DNEAT_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$JOBS" \
-    --target test_ipc test_obs test_chaos test_fastpath ext_perf
+    --target test_ipc test_obs test_chaos test_fastpath test_workload \
+             test_udp_e2e ext_perf ext_workloads
   ./build-asan/tests/test_ipc
   ./build-asan/tests/test_obs
   ./build-asan/tests/test_chaos
   ./build-asan/tests/test_fastpath
+  # The workload engine churns sockets, filters and pooled packets by the
+  # thousand — exactly where lifetime bugs hide. The UDP e2e suite crosses
+  # the SYSCALL-server bind registry and replica recovery under ASan too.
+  ./build-asan/tests/test_workload
+  ./build-asan/tests/test_udp_e2e
   # One short end-to-end pass over the pooled data path under ASan: buffer
   # recycling must be invisible to the sanitizer.
   (cd build-asan/bench && ./ext_perf --quick)
+  (cd build-asan/bench && ./ext_workloads --quick)
 fi
 
 if [[ "$RUN_PERF" == 1 ]]; then

@@ -24,6 +24,12 @@ Testbed::Testbed(Config config)
 }
 
 Testbed::~Testbed() {
+  // Out-of-order teardown check: every rig must already be gone. A rig that
+  // outlives its testbed holds processes pinned to freed machines and
+  // channels into a dead simulator — exactly the UAF class PR 3 fixed in
+  // five fixtures. Fail at the destruction site, not at the later crash.
+  assert(*dependents_ == 0 &&
+         "rig outlived its Testbed (destroy rigs before the testbed)");
   // The obs hub dies with `sim`, before `pool`; packets released during
   // simulator teardown (closures in the event queue hold PacketPtrs) must
   // not bump freed counters.
@@ -166,6 +172,7 @@ Placement xeon_placement(bool multi_component, int replicas, int webs,
 
 ServerRig build_neat_server(Testbed& tb, NeatServerOptions opt) {
   ServerRig rig;
+  rig.testbed_token = tb.depend();
   for (const auto& [path, size] : opt.files) rig.files->add(path, size);
   if (opt.tracking_filters) tb.server_nic.set_tracking_filters(true);
 
@@ -207,6 +214,7 @@ ServerRig build_neat_server(Testbed& tb, NeatServerOptions opt) {
 
 ServerRig build_linux_server(Testbed& tb, LinuxServerOptions opt) {
   ServerRig rig;
+  rig.testbed_token = tb.depend();
   for (const auto& [path, size] : opt.files) rig.files->add(path, size);
 
   baseline::LinuxHost::Config cfg;
@@ -239,6 +247,7 @@ ServerRig build_linux_server(Testbed& tb, LinuxServerOptions opt) {
 
 ClientRig build_client(Testbed& tb, ClientOptions opt, int num_ports) {
   ClientRig rig;
+  rig.testbed_token = tb.depend();
   NeatHost::Config hc;
   hc.kind = NeatHost::Config::Kind::kSingle;
   hc.costs = opt.costs;

@@ -29,6 +29,46 @@ inline constexpr net::Ipv4Addr kServerIp = net::Ipv4Addr::of(10, 0, 0, 1);
 inline constexpr net::Ipv4Addr kClientIp = net::Ipv4Addr::of(10, 0, 0, 2);
 inline constexpr std::uint16_t kBasePort = 8000;
 
+/// RAII witness of the "rigs die before their Testbed" contract. Every rig
+/// built against a Testbed holds one; the Testbed's destructor asserts (in
+/// debug builds) that none are outstanding, turning the comment-only
+/// teardown contract into a fail-fast check at the destruction site. The
+/// counter lives on the heap behind a shared_ptr so a leaked token never
+/// dereferences a dead Testbed even when the assert is compiled out.
+class TestbedDependent {
+ public:
+  TestbedDependent() = default;
+  explicit TestbedDependent(std::shared_ptr<std::size_t> count)
+      : count_(std::move(count)) {
+    if (count_) ++*count_;
+  }
+  TestbedDependent(TestbedDependent&& o) noexcept
+      : count_(std::move(o.count_)) {
+    o.count_.reset();
+  }
+  TestbedDependent& operator=(TestbedDependent&& o) noexcept {
+    if (this != &o) {
+      release();
+      count_ = std::move(o.count_);
+      o.count_.reset();
+    }
+    return *this;
+  }
+  TestbedDependent(const TestbedDependent&) = delete;
+  TestbedDependent& operator=(const TestbedDependent&) = delete;
+  ~TestbedDependent() { release(); }
+
+  void release() {
+    if (count_) {
+      --*count_;
+      count_.reset();
+    }
+  }
+
+ private:
+  std::shared_ptr<std::size_t> count_;
+};
+
 /// The two machines + NICs + 10G DAC link.
 class Testbed {
  public:
@@ -46,6 +86,13 @@ class Testbed {
 
   explicit Testbed(Config cfg);
   ~Testbed();
+
+  /// Issue a teardown-order token; rig builders attach one to every rig.
+  [[nodiscard]] TestbedDependent depend() {
+    return TestbedDependent(dependents_);
+  }
+  /// Rigs currently alive against this testbed (0 required at destruction).
+  [[nodiscard]] std::size_t dependent_count() const { return *dependents_; }
 
   /// Channel-registry hygiene: the registry is a process-wide static, so a
   /// channel leaked past its simulator would silently poison the next
@@ -75,6 +122,9 @@ class Testbed {
   nic::Nic server_nic;
   nic::Nic client_nic;
   nic::Link link;
+
+ private:
+  std::shared_ptr<std::size_t> dependents_{std::make_shared<std::size_t>(0)};
 };
 
 // ---------------------------------------------------------------------------
@@ -108,6 +158,9 @@ struct Placement {
                                        int webs, bool ht);
 
 struct ServerRig {
+  /// Teardown-order witness (first member: released only after every other
+  /// member — hosts, webs, their channels — is gone).
+  TestbedDependent testbed_token;
   /// Heap-allocated: servers hold references into the store, which must
   /// stay stable even if the rig itself is moved.
   std::unique_ptr<apps::FileStore> files =
@@ -165,6 +218,8 @@ struct ClientOptions {
 };
 
 struct ClientRig {
+  /// Teardown-order witness (first member; see ServerRig).
+  TestbedDependent testbed_token;
   std::unique_ptr<NeatHost> host;
   std::vector<std::unique_ptr<apps::LoadGen>> gens;
 

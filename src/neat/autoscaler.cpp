@@ -58,6 +58,15 @@ void AutoScaler::tick() {
   }
   last_util_ = active.empty() ? 0.0 : total / static_cast<double>(active.size());
 
+  // Publish the control-loop state so workload benches can plot replica
+  // timelines against load without reaching into the host.
+  auto& metrics = host_.simulator().metrics();
+  metrics.gauge("autoscaler.replicas_active")
+      .set(static_cast<double>(active.size()));
+  metrics.gauge("autoscaler.mean_utilization").set(last_util_);
+  metrics.gauge("autoscaler.spare_pins").set(
+      static_cast<double>(spare_pins_.size()));
+
   // Refresh snapshots for the next window.
   snapshots_.clear();
   for (std::size_t i = 0; i < host_.replica_count(); ++i) {
@@ -72,11 +81,13 @@ void AutoScaler::tick() {
       host_.add_replica(spare_pins_.back());
       spare_pins_.pop_back();
       ++scale_ups_;
+      metrics.counter("autoscaler.scale_ups").inc();
       last_action_ = now;
     } else if (last_util_ < policy_.scale_down_threshold &&
                active.size() > policy_.min_replicas && coldest != nullptr) {
       host_.begin_scale_down(*coldest);
       ++scale_downs_;
+      metrics.counter("autoscaler.scale_downs").inc();
       last_action_ = now;
       // The replica's threads return to the pool once it is collected; we
       // conservatively reclaim them now (the collector crashes the procs).

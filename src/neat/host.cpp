@@ -89,8 +89,18 @@ StackReplica& NeatHost::add_replica(
   // Subsocket replication: every recorded listener appears on the new
   // replica too, so it immediately shares the accept load.
   replay_listens(ref);
+  replay_udp_binds(ref);
   supervisor_->watch_replica(ref);
+  note_replica_census();
   return ref;
+}
+
+void NeatHost::note_replica_census() {
+  auto& m = sim_.metrics();
+  m.gauge("neat.replicas_active")
+      .set(static_cast<double>(active_replicas().size()));
+  m.gauge("neat.replicas_serving")
+      .set(static_cast<double>(serving_replicas().size()));
 }
 
 std::vector<StackReplica*> NeatHost::active_replicas() {
@@ -143,6 +153,36 @@ void NeatHost::replay_listens(StackReplica& replica) {
   }
 }
 
+void NeatHost::record_udp_bind(UdpBindRecord rec) {
+  udp_bind_registry_.push_back(rec);
+  for (auto* r : serving_replicas()) {
+    r->component(Component::kUdp)->post(
+        config_.costs.replica_control,
+        [r, rec] {
+          if (rec.wire) rec.wire(*r, r->udp());
+        });
+  }
+}
+
+void NeatHost::remove_udp_bind(std::uint16_t port) {
+  std::erase_if(udp_bind_registry_,
+                [port](const UdpBindRecord& r) { return r.port == port; });
+  for (auto* r : serving_replicas()) {
+    r->component(Component::kUdp)->post(
+        config_.costs.replica_control,
+        [r, port] { r->udp().unbind(port); });
+  }
+}
+
+void NeatHost::replay_udp_binds(StackReplica& replica) {
+  for (const auto& rec : udp_bind_registry_) {
+    replica.component(Component::kUdp)->post(
+        config_.costs.replica_control, [&replica, rec] {
+          if (rec.wire) rec.wire(replica, replica.udp());
+        });
+  }
+}
+
 void NeatHost::update_steering() {
   std::vector<int> queues;
   for (auto* r : active_replicas()) queues.push_back(r->queue());
@@ -159,6 +199,7 @@ void NeatHost::begin_scale_down(StackReplica& replica) {
   // (ii) new connections bypass it; existing flows keep their path thanks
   // to the NIC's per-flow tracking filters.
   update_steering();
+  note_replica_census();
 }
 
 void NeatHost::retire_queue(int queue) {
@@ -184,6 +225,8 @@ void NeatHost::gc_tick() {
       r->terminated = true;
       retire_queue(r->queue());
       for (auto* p : r->processes()) p->crash();
+      sim_.metrics().counter("neat.lazy_terminations").inc();
+      note_replica_census();
     }
   }
   gc_timer_ = sim_.schedule(config_.gc_period, [this] { gc_tick(); });
@@ -281,6 +324,12 @@ std::size_t NeatHost::recover_replica(StackReplica& replica,
     // not attract fresh connections (§3.4).
     if (!replica.terminating) replay_listens(replica);
   }
+  // The UDP port mux died whenever its hosting process did (always, for a
+  // single-component replica). Re-install the durable binds.
+  if (component == Component::kUdp ||
+      std::string_view(replica.kind()) == "single") {
+    replay_udp_binds(replica);
+  }
   // Replica announces itself; the driver resumes delivery.
   driver_->control([this, &replica] {
     driver_->announce_endpoint(replica.queue(), &replica.rx_channel());
@@ -309,6 +358,7 @@ void NeatHost::quarantine_replica(StackReplica& replica) {
   // Apps learn every socket on this replica is gone for good.
   for (auto* l : listeners_) l->on_replica_tcp_recovery(replica, {});
   update_steering();
+  note_replica_census();
 }
 
 StackReplica* NeatHost::spawn_replacement(StackReplica& failed) {
@@ -331,6 +381,7 @@ void NeatHost::collect_replica(StackReplica& replica) {
   // Unlike the clean GC path this replica still had connections; the apps
   // must learn they are gone.
   for (auto* l : listeners_) l->on_replica_tcp_recovery(replica, {});
+  note_replica_census();
 }
 
 std::size_t NeatHost::note_detection(int replica_id,

@@ -69,6 +69,16 @@ struct ListenRecord {
   std::function<void(StackReplica&, net::TcpListener&)> wire;
 };
 
+/// One durable UDP bind; like ListenRecord, replayed onto every serving
+/// replica (UDP is stateless, so any replica can process any datagram) and
+/// re-replayed after a restart wipes a replica's port mux.
+struct UdpBindRecord {
+  std::uint16_t port{0};
+  /// Installs the binding on one replica's mux (runs in that replica's
+  /// UDP-bearing process context).
+  std::function<void(StackReplica&, net::UdpMux&)> wire;
+};
+
 /// A recovery event, for the fault-injection experiments (Table 3) and the
 /// chaos campaigns. The crash itself fills the first block; the supervisor
 /// annotates detection/recovery as it observes and handles the failure.
@@ -170,6 +180,15 @@ class NeatHost {
   void remove_listen(std::uint16_t port);
   void replay_listens(StackReplica& replica);
 
+  // --- UDP bind registry -----------------------------------------------------
+  /// Record a durable UDP bind and install it on every serving replica.
+  void record_udp_bind(UdpBindRecord rec);
+  void remove_udp_bind(std::uint16_t port);
+  void replay_udp_binds(StackReplica& replica);
+  [[nodiscard]] std::size_t udp_bind_count() const {
+    return udp_bind_registry_.size();
+  }
+
   // --- scaling (§3.4) --------------------------------------------------------
   /// Mark a replica for lazy termination: new connections avoid it; it is
   /// garbage-collected when its connection count reaches zero.
@@ -244,6 +263,9 @@ class NeatHost {
   void retire_queue(int queue);
   void gc_tick();
   void checkpoint_tick(int replica_id);
+  /// Refresh the replica-census gauges on the metrics hub (called whenever
+  /// the active/serving sets change: spawn, scale-down, gc, quarantine).
+  void note_replica_census();
 
   sim::Simulator& sim_;
   sim::Machine& machine_;
@@ -257,6 +279,7 @@ class NeatHost {
   /// Hardware threads each replica was pinned to (replacement spawning).
   std::vector<std::vector<sim::HwThread*>> replica_pins_;
   std::vector<ListenRecord> listen_registry_;
+  std::vector<UdpBindRecord> udp_bind_registry_;
   std::vector<ReplicaFailureListener*> listeners_;
   std::vector<RecoveryEvent> recovery_log_;
   /// replica id -> recovery-log index awaiting its first post-restart accept.

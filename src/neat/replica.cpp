@@ -185,15 +185,30 @@ void SingleComponentReplica::handle_ip(const net::Ipv4Header& hdr,
   }
 }
 
+void SingleComponentReplica::udp_tx(net::PacketPtr payload,
+                                    std::uint16_t src_port, net::SockAddr to) {
+  const sim::Cycles c =
+      costs_.udp_per_packet + costs_.bytes_cost(payload->size());
+  post(c, [this, payload = std::move(payload), src_port, to]() mutable {
+    net::UdpHeader uh;
+    uh.src_port = src_port;
+    uh.dst_port = to.port;
+    uh.encode(*payload, ip_.ip(), to.ip);
+    ip_.send(std::move(payload), net::IpProto::kUdp, ip_.ip(), to.ip);
+  });
+}
+
 void SingleComponentReplica::on_crash() {
   // All state dies with the process — silently, as seen from the wire.
   tcp_stack_.destroy_all_state();
   ip_.reset();
+  udp_.clear();
 }
 
 void SingleComponentReplica::reset_after_restart(Component) {
   tcp_stack_.destroy_all_state();
   ip_.reset();
+  udp_.clear();
   pf_.clear();
   rerandomize_layout();  // a fresh process image -> fresh ASLR layout
 }
@@ -228,8 +243,8 @@ void TcpComponent::tx(net::PacketPtr segment, net::Ipv4Addr src,
            });
       return;
     }
-    owner_.tcp_to_ip_->send(
-        MultiComponentReplica::TcpToIp{std::move(segment), src, dst});
+    owner_.tcp_to_ip_->send(MultiComponentReplica::TcpToIp{
+        std::move(segment), src, dst, net::IpProto::kTcp});
   });
 }
 
@@ -330,9 +345,26 @@ MultiComponentReplica::MultiComponentReplica(
         return costs_.ip_tx_base + costs_.bytes_cost(m.payload->size());
       },
       [this](TcpToIp&& m) {
-        ip_proc_->ip_send(std::move(m.payload), net::IpProto::kTcp, m.src,
-                          m.dst);
+        ip_proc_->ip_send(std::move(m.payload), m.proto, m.src, m.dst);
       });
+}
+
+void MultiComponentReplica::udp_tx(net::PacketPtr payload,
+                                   std::uint16_t src_port, net::SockAddr to) {
+  const sim::Cycles c =
+      costs_.udp_per_packet + costs_.bytes_cost(payload->size());
+  udp_proc_->post(c, [this, payload = std::move(payload), src_port,
+                      to]() mutable {
+    const net::Ipv4Addr src = ip_proc_->layer().ip();
+    net::UdpHeader uh;
+    uh.src_port = src_port;
+    uh.dst_port = to.port;
+    uh.encode(*payload, src, to.ip);
+    // Reuses the transport→IP channel; the IP component pays its usual TX
+    // cost and encapsulates in its own context.
+    tcp_to_ip_->send(TcpToIp{std::move(payload), src, to.ip,
+                             net::IpProto::kUdp});
+  });
 }
 
 std::vector<sim::Process*> MultiComponentReplica::processes() {
@@ -365,6 +397,7 @@ void MultiComponentReplica::reset_after_restart(Component which) {
       tcp_to_ip_->rebind(*ip_proc_);
       break;
     case Component::kUdp:
+      udp_proc_->mux().clear();
       ip_to_udp_->rebind(*udp_proc_);
       break;
     case Component::kFilter:

@@ -115,6 +115,13 @@ class StackReplica {
   /// the layout an attacker probes across connections.
   [[nodiscard]] std::uint64_t aslr_layout() const { return aslr_layout_; }
 
+  /// Transmit a UDP datagram from this replica (UDP being stateless, the
+  /// socket library may hand any datagram to any serving replica). Runs in
+  /// the replica's UDP-bearing process; `payload` is the raw application
+  /// bytes, headers are added on the way out.
+  virtual void udp_tx(net::PacketPtr payload, std::uint16_t src_port,
+                      net::SockAddr to) = 0;
+
   /// Invoked (by the host) after a crash+restart cycle of the TCP-bearing
   /// process to clear any residual soft state.
   virtual void reset_after_restart(Component which) = 0;
@@ -156,6 +163,8 @@ class SingleComponentReplica final : public sim::Process,
   sim::Process* component(Component) override { return this; }
   const char* kind() const override { return "single"; }
   IpLayer& ip_layer_ref() override { return ip_; }
+  void udp_tx(net::PacketPtr payload, std::uint16_t src_port,
+              net::SockAddr to) override;
   void reset_after_restart(Component) override;
 
   // TcpEnv
@@ -261,6 +270,11 @@ class UdpComponent final : public sim::Process {
                std::string name);
   [[nodiscard]] net::UdpMux& mux() { return mux_; }
 
+ protected:
+  /// Port bindings are soft state: they die with the process. The host
+  /// replays the durable bind registry after recovery.
+  void on_crash() override { mux_.clear(); }
+
  private:
   MultiComponentReplica& owner_;
   net::UdpMux mux_;
@@ -298,6 +312,8 @@ class MultiComponentReplica final : public StackReplica {
   sim::Process* component(Component c) override;
   const char* kind() const override { return "multi"; }
   IpLayer& ip_layer_ref() override { return ip_proc_->layer(); }
+  void udp_tx(net::PacketPtr payload, std::uint16_t src_port,
+              net::SockAddr to) override;
   void reset_after_restart(Component which) override;
 
   [[nodiscard]] IpComponent& ip_component() { return *ip_proc_; }
@@ -318,6 +334,7 @@ class MultiComponentReplica final : public StackReplica {
     net::PacketPtr payload;
     net::Ipv4Addr src;
     net::Ipv4Addr dst;
+    net::IpProto proto{net::IpProto::kTcp};
   };
 
   StackCosts costs_;

@@ -52,12 +52,23 @@ class UdpMux {
     return bound_.contains(port);
   }
 
+  /// Forget every binding (crash recovery: the mux is soft state that dies
+  /// with its process; the host replays durable binds onto the restarted
+  /// replica).
+  void clear() { bound_.clear(); }
+  [[nodiscard]] std::size_t bound_count() const { return bound_.size(); }
+
+  /// Datagrams handed to a receiver on this mux (per-replica steering
+  /// visibility for tests and benches).
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+
   /// Deliver a decoded datagram; returns false if no receiver (caller may
   /// emit ICMP port-unreachable).
   bool deliver(const UdpHeader& h, Ipv4Addr src, Ipv4Addr dst,
                PacketPtr payload) {
     auto it = bound_.find(h.dst_port);
     if (it == bound_.end()) return false;
+    ++delivered_;
     it->second(Datagram{SockAddr{src, h.src_port}, SockAddr{dst, h.dst_port},
                         std::move(payload)});
     return true;
@@ -65,6 +76,7 @@ class UdpMux {
 
  private:
   std::unordered_map<std::uint16_t, Receiver> bound_;
+  std::uint64_t delivered_{0};
 };
 
 }  // namespace neat::net

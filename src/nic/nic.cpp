@@ -50,8 +50,24 @@ void Nic::add_flow_filter(const net::FlowKey& key, int queue) {
     ++stats_.filters_evicted;
   }
   lru_.push_front(key);
-  flows_.emplace(key, FlowEntry{queue, lru_.begin()});
+  flows_.emplace(key, FlowEntry{queue, lru_.begin(), ++filter_gen_, false});
   ++stats_.filters_installed;
+}
+
+void Nic::retire_flow_on_fin(const net::FlowKey& key) {
+  auto it = flows_.find(key);
+  if (it == flows_.end() || it->second.fin_seen) return;
+  it->second.fin_seen = true;
+  // Hardware ages the entry out once the close handshake and TIME_WAIT have
+  // had time to complete. The generation stamp makes the delayed removal a
+  // no-op if the 4-tuple was reused (fresh install) in the meantime.
+  const std::uint64_t gen = it->second.gen;
+  sim_.queue().schedule(params_.fin_retire_linger, [this, key, gen] {
+    auto it2 = flows_.find(key);
+    if (it2 == flows_.end() || it2->second.gen != gen) return;
+    remove_flow_filter(key);
+    ++stats_.filters_retired;
+  });
 }
 
 void Nic::remove_flow_filter(const net::FlowKey& key) {
@@ -175,6 +191,9 @@ void Nic::receive(net::PacketPtr frame) {
       touch_lru(flow->key);
       if (params_.tracking_filters && flow->rst) {
         remove_flow_filter(flow->key);  // flow is gone; free the entry
+        ++stats_.filters_retired;
+      } else if (params_.tracking_filters && flow->fin) {
+        retire_flow_on_fin(flow->key);
       }
       note_steering(/*filter_hit=*/true, *flow, queue);
     } else {

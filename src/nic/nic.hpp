@@ -38,6 +38,11 @@ struct NicParams {
   /// to, so reconfiguring the indirection table (scale up/down) never moves
   /// an existing connection.
   bool tracking_filters{false};
+  /// How long a tracking filter outlives the first FIN seen on its flow.
+  /// The filter must survive the rest of the close handshake (the peer's
+  /// FIN/ACK still needs to reach the same queue) and the local TIME_WAIT,
+  /// after which the entry is dead weight the hardware should reclaim.
+  sim::SimTime fin_retire_linger{1 * sim::kSecond};
   bool tso{true};
 };
 
@@ -50,6 +55,10 @@ struct NicStats {
   std::uint64_t rx_dropped_no_match{0};  // wrong MAC
   std::uint64_t filters_installed{0};
   std::uint64_t filters_evicted{0};
+  /// Filters reclaimed because the flow ended (RST, or FIN + linger) —
+  /// distinct from capacity evictions above. Churn workloads must see this
+  /// track filters_installed or the table leaks.
+  std::uint64_t filters_retired{0};
   /// Steering decisions by mechanism: exact-match filter hit vs RSS hash.
   std::uint64_t rx_steered_filter{0};
   std::uint64_t rx_steered_rss{0};
@@ -81,6 +90,10 @@ class Nic {
   /// Enable/disable per-flow tracking filters after construction (the
   /// harness forwards NeatServerOptions::tracking_filters through here).
   void set_tracking_filters(bool on) { params_.tracking_filters = on; }
+
+  /// Tune the FIN-to-reclaim linger after construction (workload scenarios
+  /// shorten it so retirement is observable within a sub-second run).
+  void set_fin_retire_linger(sim::SimTime t) { params_.fin_retire_linger = t; }
   [[nodiscard]] const NicStats& stats() const { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
@@ -144,6 +157,9 @@ class Nic {
 
  private:
   void touch_lru(const net::FlowKey& key);
+  /// First FIN observed on a tracked flow: mark it and schedule the entry's
+  /// reclamation after fin_retire_linger (generation-guarded).
+  void retire_flow_on_fin(const net::FlowKey& key);
   /// Record one steering decision in the metrics registry, and trace SYNs
   /// (the per-flow steering event; tracing every frame would drown the
   /// ring).
@@ -164,9 +180,15 @@ class Nic {
   struct FlowEntry {
     int queue;
     std::list<net::FlowKey>::iterator lru_it;
+    /// Generation stamp: a linger-delayed FIN retirement only fires if the
+    /// entry it targeted is still the same installation (a reused 4-tuple
+    /// re-installs with a fresh generation and must keep its filter).
+    std::uint64_t gen{0};
+    bool fin_seen{false};
   };
   std::unordered_map<net::FlowKey, FlowEntry, net::FlowKeyHash> flows_;
   std::list<net::FlowKey> lru_;  // front = most recent
+  std::uint64_t filter_gen_{0};
   obs::Counter* steer_filter_counter_{nullptr};
   obs::Counter* steer_rss_counter_{nullptr};
 };

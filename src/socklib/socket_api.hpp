@@ -29,6 +29,11 @@ enum class CloseReason {
 
 [[nodiscard]] const char* to_string(CloseReason r);
 
+/// Datagram delivery callback (UDP): source address + payload bytes. The
+/// span is only valid for the duration of the call.
+using DatagramRx =
+    std::function<void(net::SockAddr from, std::span<const std::uint8_t>)>;
+
 /// Per-connection event callbacks (edge-style notifications).
 struct ConnCallbacks {
   std::function<void(Fd)> on_connected;
@@ -64,6 +69,28 @@ class SocketApi {
 
   /// Orderly close; the fd is released immediately.
   virtual void close(Fd fd) = 0;
+
+  // --- UDP (datagram) -------------------------------------------------------
+  // Default implementations report "unsupported" so TCP-only backends stay
+  // source-compatible.
+
+  /// Open a UDP socket bound to `port`; incoming datagrams arrive via `rx`.
+  /// Returns kBadFd if the backend has no UDP support.
+  virtual Fd udp_open(std::uint16_t port, DatagramRx rx) {
+    (void)port;
+    (void)rx;
+    return kBadFd;
+  }
+
+  /// Fire-and-forget datagram from `fd`'s bound port. Returns bytes
+  /// accepted (0 when unsupported or the fd is unknown).
+  virtual std::size_t udp_send(Fd fd, net::SockAddr to,
+                               std::span<const std::uint8_t> payload) {
+    (void)fd;
+    (void)to;
+    (void)payload;
+    return 0;
+  }
 };
 
 }  // namespace neat::socklib

@@ -185,10 +185,56 @@ void SockLib::close(Fd fd) {
     conns_.erase(it);
     return;
   }
+  if (auto it = udp_socks_.find(fd); it != udp_socks_.end()) {
+    host_.remove_udp_bind(it->second.port);
+    udp_socks_.erase(it);
+    return;
+  }
   if (auto it = listeners_.find(fd); it != listeners_.end()) {
     host_.remove_listen(it->second.port);
     listeners_.erase(it);
   }
+}
+
+Fd SockLib::udp_open(std::uint16_t port, DatagramRx rx) {
+  const Fd fd = next_fd_++;
+  udp_socks_.emplace(fd, UdpEntry{port});
+
+  // Like listen(), a bind is a rare control-plane call: route it through
+  // the SYSCALL server, which records it durably and installs the binding
+  // on every serving replica (any replica can process any datagram).
+  sim::Process* app = &app_;
+  const StackCosts costs = host_.costs();
+  auto rx_shared = std::make_shared<DatagramRx>(std::move(rx));
+  UdpBindRecord rec;
+  rec.port = port;
+  rec.wire = [app, costs, port, rx_shared](StackReplica&,
+                                           net::UdpMux& mux) {
+    mux.bind(port, [app, costs, rx_shared](net::UdpMux::Datagram d) {
+      const net::SockAddr from = d.from;
+      // Hoist the cost: the lambda's init-capture moves d.payload, and
+      // argument evaluation order is unspecified.
+      const sim::Cycles cost =
+          costs.app_notify + costs.bytes_cost(d.payload->size());
+      app->post(cost, [rx_shared, from, payload = std::move(d.payload)] {
+        (*rx_shared)(from, payload->bytes());
+      });
+    });
+  };
+  NeatHost* host = &host_;
+  host_.syscall().submit([host, rec] { host->record_udp_bind(rec); });
+  return fd;
+}
+
+std::size_t SockLib::udp_send(Fd fd, net::SockAddr to,
+                              std::span<const std::uint8_t> payload) {
+  auto it = udp_socks_.find(fd);
+  if (it == udp_socks_.end()) return 0;
+  // UDP is stateless: any active replica can carry the datagram out.
+  StackReplica* rep = host_.pick_replica();
+  if (rep == nullptr) return 0;
+  rep->udp_tx(net::Packet::of(payload), it->second.port, to);
+  return payload.size();
 }
 
 void SockLib::on_replica_tcp_recovery(

@@ -38,6 +38,9 @@ class SockLib final : public SocketApi, public ReplicaFailureListener {
   [[nodiscard]] std::size_t readable(Fd fd) const override;
   [[nodiscard]] bool eof(Fd fd) const override;
   void close(Fd fd) override;
+  Fd udp_open(std::uint16_t port, DatagramRx rx) override;
+  std::size_t udp_send(Fd fd, net::SockAddr to,
+                       std::span<const std::uint8_t> payload) override;
 
   // ReplicaFailureListener
   void on_replica_tcp_recovery(
@@ -46,6 +49,9 @@ class SockLib final : public SocketApi, public ReplicaFailureListener {
 
   [[nodiscard]] NeatHost& host() { return host_; }
   [[nodiscard]] std::size_t open_sockets() const { return conns_.size(); }
+  [[nodiscard]] std::size_t open_udp_sockets() const {
+    return udp_socks_.size();
+  }
 
  private:
   struct ListenEntry {
@@ -57,12 +63,17 @@ class SockLib final : public SocketApi, public ReplicaFailureListener {
   void wire_connection(Fd fd, StackReplica& replica, net::TcpSocketPtr tcp,
                        ConnCallbacks cb, bool notify_connect);
 
+  struct UdpEntry {
+    std::uint16_t port{0};
+  };
+
   sim::Process& app_;
   NeatHost& host_;
   sim::Rng rng_;
   Fd next_fd_{3};
   std::unordered_map<Fd, ListenEntry> listeners_;
   std::unordered_map<Fd, NeatSocketPtr> conns_;
+  std::unordered_map<Fd, UdpEntry> udp_socks_;
 };
 
 }  // namespace neat::socklib

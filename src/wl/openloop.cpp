@@ -1,0 +1,237 @@
+#include "wl/openloop.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace neat::wl {
+
+using socklib::CloseReason;
+using socklib::ConnCallbacks;
+using socklib::Fd;
+using socklib::kBadFd;
+
+OpenLoopClient::OpenLoopClient(sim::Simulator& sim, std::string name,
+                               Config config)
+    : sim::Process(sim, std::move(name)),
+      config_(std::move(config)),
+      rng_(sim.rng().split(0x0917c ^ std::hash<std::string>{}(config_.tenant))) {
+}
+
+void OpenLoopClient::attach_api(std::unique_ptr<socklib::SocketApi> api) {
+  api_ = std::move(api);
+}
+
+void OpenLoopClient::start() {
+  assert(api_ && "attach_api() before start()");
+  running_ = true;
+  last_epoch_ = sim().now();
+  sampler_ = std::make_unique<ArrivalSampler>(config_.arrival,
+                                              rng_.split(0xa441));
+  hub_latency_ = &sim().metrics().histogram("wl." + config_.tenant +
+                                            ".request_latency_ns");
+  hub_requests_ =
+      &sim().metrics().counter("wl." + config_.tenant + ".requests");
+  schedule_next_arrival();
+}
+
+void OpenLoopClient::stop() { running_ = false; }
+
+void OpenLoopClient::mark() {
+  report_.sessions_started = 0;
+  report_.sessions_completed = 0;
+  report_.sessions_failed = 0;
+  report_.sessions_abandoned = 0;
+  report_.sessions_shed = 0;
+  report_.requests_completed = 0;
+  report_.bytes_received = 0;
+  report_.bad_status = 0;
+  report_.slo_violations = 0;
+  report_.latency.reset();
+  report_.raw_latency.reset();
+}
+
+void OpenLoopClient::schedule_next_arrival() {
+  if (!running_) return;
+  const sim::SimTime epoch = sampler_->next_after(last_epoch_);
+  last_epoch_ = epoch;
+  const sim::SimTime now = sim().now();
+  const sim::SimTime delay = epoch > now ? epoch - now : 0;
+  after(delay, config_.arrival_cost, [this, epoch] {
+    on_arrival(epoch);
+    schedule_next_arrival();
+  });
+}
+
+void OpenLoopClient::on_arrival(sim::SimTime epoch) {
+  if (!running_) return;
+  if (sessions_.size() >= config_.max_in_flight) {
+    ++report_.sessions_shed;
+    return;
+  }
+  ++report_.sessions_started;
+
+  ConnCallbacks cb;
+  cb.on_connected = [this, epoch](Fd fd) {
+    auto it = sessions_.find(fd);
+    if (it == sessions_.end()) return;
+    it->second.connected = true;
+    // First request's CO clock starts at the arrival epoch: connect time
+    // (SYN backlog queueing included) is part of what the user waited.
+    issue_request(fd, epoch);
+  };
+  cb.on_readable = [this](Fd fd) { on_readable(fd); };
+  cb.on_closed = [this](Fd fd, CloseReason r) { on_closed(fd, r); };
+
+  const Fd fd = api_->connect(config_.server, cb);
+  if (fd == kBadFd) {
+    ++report_.sessions_failed;
+    return;
+  }
+  Session s;
+  s.path = config_.catalog[rng_.below(config_.catalog.size())];
+  s.remaining = config_.session.sample_requests(rng_);
+  s.intended_at = epoch;
+  sessions_.emplace(fd, std::move(s));
+  // The user's patience clock runs from arrival, covering connect too: a
+  // SYN that the server never answers must surface as abandonment, not
+  // vanish because no request was ever "outstanding".
+  arm_abandonment(fd);
+}
+
+void OpenLoopClient::issue_request(Fd fd, sim::SimTime intended) {
+  post(config_.send_cost, [this, fd, intended] {
+    auto it = sessions_.find(fd);
+    if (it == sessions_.end()) return;
+    Session& s = it->second;
+    const auto req = apps::build_request(s.path);
+    const std::size_t n = api_->send(fd, req);
+    if (n != req.size()) {
+      api_->close(fd);
+      on_closed(fd, CloseReason::kReset);
+      return;
+    }
+    s.request_outstanding = true;
+    s.intended_at = intended;
+    s.request_sent_at = sim().now();
+    arm_abandonment(fd);
+  });
+}
+
+void OpenLoopClient::arm_abandonment(Fd fd) {
+  if (config_.session.abandon_after == 0) return;
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  const std::uint64_t seq = it->second.wait_seq;
+  after(config_.session.abandon_after, config_.recv_cost, [this, fd, seq] {
+    auto sit = sessions_.find(fd);
+    if (sit == sessions_.end() || sit->second.wait_seq != seq) return;
+    // Still waiting on the same request: the user walks away. The time
+    // already waited goes in as a latency lower bound — the request *at
+    // least* took this long, and omitting it would censor the tail.
+    const sim::SimTime waited = sim().now() - sit->second.intended_at;
+    record_latency_sample(waited);
+    ++report_.sessions_abandoned;
+    finish_session(fd, /*completed=*/false);
+  });
+}
+
+void OpenLoopClient::on_readable(Fd fd) {
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  const std::size_t avail = api_->readable(fd);
+  post(config_.recv_cost + config_.per_16_bytes * (avail / 16), [this, fd] {
+    auto cit = sessions_.find(fd);
+    if (cit == sessions_.end()) return;
+    Session& s = cit->second;
+
+    std::uint8_t buf[8192];
+    std::size_t done = 0;
+    while (true) {
+      const std::size_t n = api_->recv(fd, buf);
+      if (n == 0) break;
+      done += s.parser.feed({buf, n});
+      if (s.parser.error()) break;
+    }
+
+    if (s.parser.error()) {
+      api_->close(fd);
+      on_closed(fd, CloseReason::kReset);
+      return;
+    }
+
+    for (std::size_t i = 0; i < done; ++i) {
+      if (!s.request_outstanding) break;
+      s.request_outstanding = false;
+      ++s.wait_seq;  // retires the pending abandonment timer
+      if (s.parser.last_status() != 200) ++report_.bad_status;
+
+      const sim::SimTime now = sim().now();
+      record_latency(s.intended_at, s.request_sent_at);
+      ++report_.requests_completed;
+      if (hub_requests_ != nullptr) hub_requests_->inc();
+      const std::uint64_t nb =
+          s.parser.body_bytes_total() - s.prev_body_total;
+      report_.bytes_received += nb;
+      s.prev_body_total = s.parser.body_bytes_total();
+
+      if (--s.remaining == 0) {
+        ++report_.sessions_completed;
+        finish_session(fd, /*completed=*/true);
+        return;
+      }
+      // Next request's intended time: now + think. Think time is user
+      // behavior, not server queueing, so the CO clock excludes it.
+      const sim::SimTime intended = now + config_.session.think_time;
+      if (config_.session.think_time > 0) {
+        after(config_.session.think_time, 0,
+              [this, fd, intended] { issue_request(fd, intended); });
+      } else {
+        issue_request(fd, intended);
+      }
+    }
+
+    if (api_->eof(fd)) {
+      api_->close(fd);
+      on_closed(fd, CloseReason::kReset);
+    }
+  });
+}
+
+void OpenLoopClient::on_closed(Fd fd, CloseReason) {
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  if (s.request_outstanding) {
+    // The in-flight request died with the connection; record the waited
+    // time as a lower bound so failures don't launder the tail.
+    record_latency_sample(sim().now() - s.intended_at);
+  }
+  ++report_.sessions_failed;
+  sessions_.erase(it);
+}
+
+void OpenLoopClient::finish_session(Fd fd, bool) {
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  // Erase before close() so a reentrant on_closed finds nothing and the
+  // session is not double-counted as failed.
+  sessions_.erase(it);
+  api_->close(fd);
+}
+
+void OpenLoopClient::record_latency(sim::SimTime intended,
+                                    sim::SimTime sent) {
+  const sim::SimTime now = sim().now();
+  const sim::SimTime co = now > intended ? now - intended : 0;
+  const sim::SimTime raw = now > sent ? now - sent : 0;
+  record_latency_sample(co);
+  report_.raw_latency.record(raw);
+}
+
+void OpenLoopClient::record_latency_sample(sim::SimTime co) {
+  report_.latency.record(co);
+  if (hub_latency_ != nullptr) hub_latency_->record(co);
+  if (config_.slo > 0 && co > config_.slo) ++report_.slo_violations;
+}
+
+}  // namespace neat::wl

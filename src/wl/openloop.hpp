@@ -1,0 +1,135 @@
+// Open-loop session generator with coordinated-omission-corrected latency.
+//
+// Unlike apps::LoadGen (the closed-loop httperf stand-in, which only issues
+// a request once the previous one returns), sessions here arrive on a
+// schedule drawn from an ArrivalModel and never wait for the server: a slow
+// server faces a growing connection backlog exactly as a real one would.
+//
+// Latency is measured from each request's *intended* send time — the
+// session's arrival epoch for the first request (so connect time is
+// inside), previous-completion + think-time for the rest — not from the
+// moment the bytes left. A stalled server therefore cannot hide its stall
+// by delaying the measurement clock (the coordinated-omission trap that
+// makes closed-loop p99s look flat under overload). Abandoned sessions
+// record their waited time as a lower-bound sample for the same reason.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/http.hpp"
+#include "obs/metrics.hpp"
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+#include "socklib/socket_api.hpp"
+#include "wl/arrival.hpp"
+#include "wl/session.hpp"
+
+namespace neat::wl {
+
+class OpenLoopClient : public sim::Process {
+ public:
+  struct Config {
+    std::string tenant{"t0"};
+    net::SockAddr server;
+    ArrivalModel arrival;
+    SessionModel session;
+    /// Paths a session may fetch (one chosen uniformly per session). The
+    /// scenario builder populates this from a SizeModel so the byte mix is
+    /// heavy-tailed while the server's FileStore stays finite.
+    std::vector<std::string> catalog{{"/file20"}};
+    /// Back-pressure valve: arrivals beyond this many live sessions are
+    /// shed (counted, not silently dropped) so an overloaded run keeps
+    /// bounded memory instead of accumulating unbounded sockets.
+    std::size_t max_in_flight{4096};
+    /// Per-request latency budget; responses above it count as violations
+    /// (0 = no SLO).
+    sim::SimTime slo{0};
+
+    sim::Cycles connect_cost{3500};
+    sim::Cycles send_cost{2800};
+    sim::Cycles recv_cost{2600};
+    sim::Cycles per_16_bytes{2};
+    sim::Cycles arrival_cost{200};
+  };
+
+  struct Report {
+    std::uint64_t sessions_started{0};
+    std::uint64_t sessions_completed{0};
+    std::uint64_t sessions_failed{0};     ///< connection error mid-session
+    std::uint64_t sessions_abandoned{0};  ///< user gave up waiting
+    std::uint64_t sessions_shed{0};       ///< max_in_flight valve
+    std::uint64_t requests_completed{0};
+    std::uint64_t bytes_received{0};
+    std::uint64_t bad_status{0};
+    std::uint64_t slo_violations{0};
+    /// CO-corrected: measured from intended send times (+ abandonment
+    /// lower bounds). The honest distribution under overload.
+    obs::Histogram latency;
+    /// Wire-clock latency (send -> response) for comparison; the gap
+    /// between the two distributions *is* the coordinated omission.
+    obs::Histogram raw_latency;
+  };
+
+  OpenLoopClient(sim::Simulator& sim, std::string name, Config config);
+
+  void attach_api(std::unique_ptr<socklib::SocketApi> api);
+  /// Begin generating arrivals (first epoch drawn after the current time).
+  void start();
+  /// Stop generating new arrivals; in-flight sessions drain naturally.
+  void stop();
+  /// Begin a fresh measurement window.
+  void mark();
+
+  [[nodiscard]] const Report& report() const { return report_; }
+  [[nodiscard]] Config& config() { return config_; }
+  [[nodiscard]] std::size_t in_flight_sessions() const {
+    return sessions_.size();
+  }
+  [[nodiscard]] socklib::SocketApi& api() { return *api_; }
+
+ protected:
+  void on_restart() override {}
+
+ private:
+  struct Session {
+    apps::HttpResponseParser parser;
+    std::string path;
+    std::uint32_t remaining{1};
+    /// Intended send time of the in-flight request (CO clock).
+    sim::SimTime intended_at{0};
+    sim::SimTime request_sent_at{0};
+    std::uint64_t prev_body_total{0};
+    /// Bumped whenever the in-flight request resolves; stale abandonment
+    /// timers compare against it and stand down.
+    std::uint64_t wait_seq{0};
+    bool request_outstanding{false};
+    bool connected{false};
+  };
+
+  void schedule_next_arrival();
+  void on_arrival(sim::SimTime epoch);
+  void issue_request(socklib::Fd fd, sim::SimTime intended);
+  void arm_abandonment(socklib::Fd fd);
+  void on_readable(socklib::Fd fd);
+  void on_closed(socklib::Fd fd, socklib::CloseReason reason);
+  void finish_session(socklib::Fd fd, bool completed);
+  void record_latency(sim::SimTime intended, sim::SimTime sent);
+  void record_latency_sample(sim::SimTime co);
+
+  Config config_;
+  Report report_;
+  std::unique_ptr<socklib::SocketApi> api_;
+  std::unique_ptr<ArrivalSampler> sampler_;
+  sim::Rng rng_;
+  std::unordered_map<socklib::Fd, Session> sessions_;
+  obs::Histogram* hub_latency_{nullptr};
+  obs::Counter* hub_requests_{nullptr};
+  sim::SimTime last_epoch_{0};
+  bool running_{false};
+};
+
+}  // namespace neat::wl

@@ -1,0 +1,123 @@
+// Session-shape models: what a client does once it has arrived.
+//
+// SizeModel draws response sizes (the file a session fetches) from fixed,
+// bounded-Pareto, or log-normal distributions — the heavy-tailed shapes
+// measured for web traffic. SessionModel describes the request train riding
+// one connection: how many requests, the think time between them, and how
+// long the user waits before abandoning a stalled session.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace neat::wl {
+
+struct SizeModel {
+  enum class Kind { kFixed, kPareto, kLogNormal };
+
+  Kind kind{Kind::kFixed};
+  std::size_t fixed{1024};
+
+  // kPareto: P(X > x) = (xm/x)^alpha for x >= xm, truncated at `cap`.
+  double pareto_xm{256.0};
+  double pareto_alpha{1.2};
+
+  // kLogNormal: ln X ~ N(mu, sigma^2), truncated at `cap`.
+  double lognorm_mu{8.0};    // e^8 ≈ 3 KiB median
+  double lognorm_sigma{1.0};
+
+  std::size_t cap{1 << 20};  ///< truncation bound, keeps tails finite
+
+  [[nodiscard]] static SizeModel fixed_size(std::size_t bytes) {
+    SizeModel m;
+    m.kind = Kind::kFixed;
+    m.fixed = bytes;
+    return m;
+  }
+
+  [[nodiscard]] static SizeModel pareto(double xm, double alpha,
+                                        std::size_t cap) {
+    SizeModel m;
+    m.kind = Kind::kPareto;
+    m.pareto_xm = xm;
+    m.pareto_alpha = alpha;
+    m.cap = cap;
+    return m;
+  }
+
+  [[nodiscard]] static SizeModel log_normal(double mu, double sigma,
+                                            std::size_t cap) {
+    SizeModel m;
+    m.kind = Kind::kLogNormal;
+    m.lognorm_mu = mu;
+    m.lognorm_sigma = sigma;
+    m.cap = cap;
+    return m;
+  }
+
+  [[nodiscard]] std::size_t sample(sim::Rng& rng) const {
+    switch (kind) {
+      case Kind::kFixed:
+        return fixed;
+      case Kind::kPareto: {
+        // Inverse CDF: x = xm * (1-u)^(-1/alpha).
+        const double u = rng.uniform();
+        const double x =
+            pareto_xm * std::pow(1.0 - u, -1.0 / pareto_alpha);
+        return clamp(x);
+      }
+      case Kind::kLogNormal: {
+        // Box–Muller; one normal per sample keeps the draw count stable.
+        const double u1 = std::max(rng.uniform(), 1e-12);
+        const double u2 = rng.uniform();
+        const double z =
+            std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+        const double x = std::exp(lognorm_mu + lognorm_sigma * z);
+        return clamp(x);
+      }
+    }
+    return fixed;
+  }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+
+  [[nodiscard]] std::size_t clamp(double x) const {
+    if (!(x > 1.0)) return 1;
+    return std::min(static_cast<std::size_t>(x), cap);
+  }
+};
+
+struct SessionModel {
+  /// Requests per session; with `geometric`, this is the mean of a
+  /// geometric draw (keep-alive trains of random length), else exact.
+  std::uint32_t requests_per_session{1};
+  bool geometric{false};
+
+  /// Client-side think time between a response and the next request.
+  sim::SimTime think_time{0};
+
+  /// Give up on a session whose in-flight request has stalled this long
+  /// (0 = infinitely patient). Abandonment closes the connection and the
+  /// waited time enters the latency record as a lower bound, so stalls
+  /// are never silently dropped from the tail.
+  sim::SimTime abandon_after{0};
+
+  [[nodiscard]] std::uint32_t sample_requests(sim::Rng& rng) const {
+    if (!geometric || requests_per_session <= 1) {
+      return std::max<std::uint32_t>(1, requests_per_session);
+    }
+    // Geometric with mean n: success prob 1/n, count = trials to success.
+    const double p = 1.0 / static_cast<double>(requests_per_session);
+    std::uint32_t n = 1;
+    while (n < 64 * requests_per_session && rng.uniform() > p) ++n;
+    return n;
+  }
+};
+
+}  // namespace neat::wl

@@ -1,0 +1,242 @@
+// Socket-level UDP end-to-end tests: datagrams through the full NEaT path
+// (SockLib bind -> SYSCALL-server durable record -> every replica's mux ->
+// NIC RSS steering), plus crash recovery replaying the binds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/testbed.hpp"
+#include "socklib/socklib.hpp"
+
+namespace neat::harness {
+namespace {
+
+using socklib::Fd;
+using socklib::kBadFd;
+
+class ScriptApp : public sim::Process {
+ public:
+  ScriptApp(sim::Simulator& sim, std::string name)
+      : sim::Process(sim, std::move(name)) {}
+  std::unique_ptr<socklib::SockLib> lib;
+};
+
+struct UdpFixture : public ::testing::Test {
+  explicit UdpFixture(NeatHost::Config::Kind server_kind =
+                          NeatHost::Config::Kind::kSingle) {
+    Testbed::Config cfg;
+    cfg.seed = 4242;
+    tb = std::make_unique<Testbed>(cfg);
+
+    NeatHost::Config hc;
+    hc.kind = server_kind;
+    server_host = std::make_unique<NeatHost>(tb->sim, tb->server_machine,
+                                             tb->server_nic, hc);
+    server_host->os_process().pin(tb->server_machine.thread(0));
+    server_host->syscall().pin(tb->server_machine.thread(1));
+    server_host->driver().pin(tb->server_machine.thread(2));
+    const bool multi = server_kind == NeatHost::Config::Kind::kMulti;
+    if (multi) {
+      server_host->add_replica({&tb->server_machine.thread(3),
+                                &tb->server_machine.thread(4)});
+      server_host->add_replica({&tb->server_machine.thread(5),
+                                &tb->server_machine.thread(6)});
+    } else {
+      server_host->add_replica({&tb->server_machine.thread(3)});
+      server_host->add_replica({&tb->server_machine.thread(4)});
+    }
+    server_app = std::make_unique<ScriptApp>(tb->sim, "srvapp");
+    server_app->pin(tb->server_machine.thread(7));
+    server_app->lib =
+        std::make_unique<socklib::SockLib>(*server_app, *server_host);
+
+    NeatHost::Config cc;
+    client_host = std::make_unique<NeatHost>(tb->sim, tb->client_machine,
+                                             tb->client_nic, cc);
+    client_host->os_process().pin(tb->client_machine.thread(0));
+    client_host->syscall().pin(tb->client_machine.thread(1));
+    client_host->driver().pin(tb->client_machine.thread(2));
+    client_host->add_replica({&tb->client_machine.thread(3)});
+    client_app = std::make_unique<ScriptApp>(tb->sim, "cliapp");
+    client_app->pin(tb->client_machine.thread(4));
+    client_app->lib =
+        std::make_unique<socklib::SockLib>(*client_app, *client_host);
+
+    for (std::size_t i = 0; i < server_host->replica_count(); ++i) {
+      server_host->replica(i).ip_layer_ref().arp().insert(
+          kClientIp, net::MacAddr::local(2));
+    }
+    client_host->replica(0).ip_layer_ref().arp().insert(
+        kServerIp, net::MacAddr::local(1));
+  }
+
+  ~UdpFixture() override {
+    server_app.reset();
+    client_app.reset();
+  }
+
+  void run(sim::SimTime t = 50 * sim::kMillisecond) { tb->sim.run_for(t); }
+
+  /// Server echo service on `port`: every datagram bounced back verbatim.
+  Fd start_echo(std::uint16_t port) {
+    socklib::SockLib* lib = server_app->lib.get();
+    echo_fd = lib->udp_open(port, [this, lib](net::SockAddr from,
+                                              std::span<const std::uint8_t> p) {
+      ++server_datagrams;
+      lib->udp_send(echo_fd, from, p);
+    });
+    return echo_fd;
+  }
+
+  std::unique_ptr<Testbed> tb;
+  std::unique_ptr<NeatHost> server_host;
+  std::unique_ptr<NeatHost> client_host;
+  std::unique_ptr<ScriptApp> server_app;
+  std::unique_ptr<ScriptApp> client_app;
+  Fd echo_fd{kBadFd};
+  int server_datagrams{0};
+};
+
+TEST_F(UdpFixture, BindReplicatesOntoEveryReplicaAndCloseUnbinds) {
+  const Fd fd = server_app->lib->udp_open(9000, [](auto, auto) {});
+  ASSERT_NE(fd, kBadFd);
+  run();
+  EXPECT_TRUE(server_host->replica(0).udp().is_bound(9000));
+  EXPECT_TRUE(server_host->replica(1).udp().is_bound(9000));
+  EXPECT_EQ(server_host->udp_bind_count(), 1u);
+
+  server_app->lib->close(fd);
+  run();
+  EXPECT_FALSE(server_host->replica(0).udp().is_bound(9000));
+  EXPECT_FALSE(server_host->replica(1).udp().is_bound(9000));
+  EXPECT_EQ(server_host->udp_bind_count(), 0u);
+}
+
+TEST_F(UdpFixture, EchoRoundtripWithSteeringSpreadAcrossReplicas) {
+  start_echo(9000);
+  run();
+
+  // Many client sockets on distinct source ports: the RSS hash over the
+  // UDP 4-tuple must spread the load over both server replicas (any
+  // replica can serve any datagram — the stateless half of §3.3).
+  constexpr int kSockets = 16;
+  constexpr int kPerSocket = 4;
+  int replies = 0;
+  std::vector<Fd> fds;
+  for (int i = 0; i < kSockets; ++i) {
+    const auto port = static_cast<std::uint16_t>(20000 + i);
+    fds.push_back(client_app->lib->udp_open(
+        port, [&replies](net::SockAddr, std::span<const std::uint8_t> p) {
+          ASSERT_EQ(p.size(), 5u);
+          ++replies;
+        }));
+  }
+  run();
+  const std::uint8_t msg[5] = {'h', 'e', 'l', 'l', 'o'};
+  for (int round = 0; round < kPerSocket; ++round) {
+    for (const Fd fd : fds) {
+      EXPECT_EQ(client_app->lib->udp_send(
+                    fd, net::SockAddr{kServerIp, 9000}, msg),
+                sizeof(msg));
+    }
+    run(10 * sim::kMillisecond);
+  }
+  run();
+  EXPECT_EQ(replies, kSockets * kPerSocket);
+  EXPECT_EQ(server_datagrams, kSockets * kPerSocket);
+  // Steering actually spread: both replicas' muxes saw traffic.
+  EXPECT_GT(server_host->replica(0).udp().delivered(), 0u);
+  EXPECT_GT(server_host->replica(1).udp().delivered(), 0u);
+
+  for (const Fd fd : fds) client_app->lib->close(fd);
+  run();
+  EXPECT_EQ(client_app->lib->open_udp_sockets(), 0u);
+}
+
+TEST_F(UdpFixture, CrashRecoveryReplaysBindsAndServiceResumes) {
+  start_echo(9000);
+  run();
+
+  int replies = 0;
+  const Fd cfd = client_app->lib->udp_open(
+      21000, [&replies](net::SockAddr, std::span<const std::uint8_t>) {
+        ++replies;
+      });
+  run();
+  const std::uint8_t msg[3] = {'a', 'b', 'c'};
+
+  // Pre-crash sanity: datagrams flow.
+  for (int i = 0; i < 4; ++i) {
+    client_app->lib->udp_send(cfd, net::SockAddr{kServerIp, 9000}, msg);
+  }
+  run();
+  EXPECT_GT(replies, 0);
+
+  // Kill replica 0 outright. Its mux is soft state and dies with it; the
+  // supervisor restart must replay the durable bind registry.
+  StackReplica& victim = server_host->replica(0);
+  server_host->inject_crash(victim, Component::kWhole);
+  tb->sim.run_for(300 * sim::kMillisecond);
+  EXPECT_TRUE(victim.udp().is_bound(9000))
+      << "recovery must replay UDP binds onto the restarted replica";
+
+  // Service resumes through both replicas (send from many source ports so
+  // some datagrams hash to the recovered one).
+  replies = 0;
+  server_datagrams = 0;
+  const std::uint64_t delivered_before = victim.udp().delivered();
+  std::vector<Fd> fds;
+  for (int i = 0; i < 16; ++i) {
+    fds.push_back(client_app->lib->udp_open(
+        static_cast<std::uint16_t>(22000 + i),
+        [&replies](net::SockAddr, std::span<const std::uint8_t>) {
+          ++replies;
+        }));
+  }
+  run();
+  for (const Fd fd : fds) {
+    client_app->lib->udp_send(fd, net::SockAddr{kServerIp, 9000}, msg);
+  }
+  run();
+  EXPECT_EQ(replies, 16);
+  EXPECT_GT(victim.udp().delivered(), delivered_before)
+      << "the recovered replica must carry datagrams again";
+}
+
+/// Same recovery contract for the multi-component flavor, where only the
+/// UDP component process dies (finer-grained fault isolation).
+struct MultiUdpFixture : public UdpFixture {
+  MultiUdpFixture() : UdpFixture(NeatHost::Config::Kind::kMulti) {}
+};
+
+TEST_F(MultiUdpFixture, UdpComponentCrashRecoveryReplaysBinds) {
+  start_echo(9000);
+  run();
+
+  StackReplica& victim = server_host->replica(0);
+  server_host->inject_crash(victim, Component::kUdp);
+  tb->sim.run_for(300 * sim::kMillisecond);
+  EXPECT_TRUE(victim.udp().is_bound(9000))
+      << "UDP-component restart must replay binds";
+
+  int replies = 0;
+  std::vector<Fd> fds;
+  for (int i = 0; i < 16; ++i) {
+    fds.push_back(client_app->lib->udp_open(
+        static_cast<std::uint16_t>(23000 + i),
+        [&replies](net::SockAddr, std::span<const std::uint8_t>) {
+          ++replies;
+        }));
+  }
+  run();
+  const std::uint8_t msg[3] = {'x', 'y', 'z'};
+  for (const Fd fd : fds) {
+    client_app->lib->udp_send(fd, net::SockAddr{kServerIp, 9000}, msg);
+  }
+  run();
+  EXPECT_EQ(replies, 16);
+}
+
+}  // namespace
+}  // namespace neat::harness
