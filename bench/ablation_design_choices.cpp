@@ -79,7 +79,17 @@ void ablation_steering(JsonWriter& json) {
 
     tb.sim.run_for(150 * sim::kMillisecond);
     for (auto& g : client.gens) g->mark();
-    server.neat->begin_scale_down(server.neat->replica(1));
+    if (tracking) {
+      server.neat->begin_scale_down(server.neat->replica(1));
+    } else {
+      // begin_scale_down() now refuses to drain a loaded replica without
+      // tracking filters (it would be this ablation's broken arm in
+      // production). Perform the raw steering change it would have made —
+      // point every RSS bucket at replica 0 — to measure the breakage.
+      const int q0 = server.neat->replica(0).queue();
+      tb.server_nic.set_indirection(
+          std::vector<int>(tb.server_nic.indirection().size(), q0));
+    }
     tb.sim.run_for(400 * sim::kMillisecond);
     std::uint64_t errs = 0;
     for (auto& g : client.gens) errs += g->report().error_conns;

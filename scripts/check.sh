@@ -32,11 +32,11 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
   echo "== sanitizer pass skipped =="
 else
-  echo "== sanitizer pass: ASan+UBSan on test_ipc / test_obs / test_chaos / test_workload / test_udp_e2e / ext_perf / ext_workloads =="
+  echo "== sanitizer pass: ASan+UBSan on test_ipc / test_obs / test_chaos / test_workload / test_udp_e2e / test_defense / ext_perf / ext_workloads / ext_defense =="
   cmake -B build-asan -S . -DNEAT_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$JOBS" \
     --target test_ipc test_obs test_chaos test_fastpath test_workload \
-             test_udp_e2e ext_perf ext_workloads
+             test_udp_e2e test_defense ext_perf ext_workloads ext_defense
   ./build-asan/tests/test_ipc
   ./build-asan/tests/test_obs
   ./build-asan/tests/test_chaos
@@ -46,11 +46,34 @@ else
   # the SYSCALL-server bind registry and replica recovery under ASan too.
   ./build-asan/tests/test_workload
   ./build-asan/tests/test_udp_e2e
+  # The migration churn soak must leak no filters or sockets — that claim
+  # only means something with ASan watching the teardown.
+  ./build-asan/tests/test_defense
   # One short end-to-end pass over the pooled data path under ASan: buffer
   # recycling must be invisible to the sanitizer.
   (cd build-asan/bench && ./ext_perf --quick)
   (cd build-asan/bench && ./ext_workloads --quick)
+  (cd build-asan/bench && ./ext_defense --quick)
 fi
+
+echo "== defense gate: ext_defense --quick vs the >=5x goodput-ratio floor =="
+(cd build/bench && ./ext_defense --quick)
+python3 - <<'EOF'
+import json, sys
+
+with open("build/bench/BENCH_ext_defense.json") as f:
+    j = json.load(f)
+ratio = float(j["syn_flood.goodput_ratio"])
+shown = ">1000" if ratio > 1000 else f"{ratio:.1f}"
+print(f"syn_flood.goodput_ratio: {shown}x (gate: >= 5)")
+if ratio < 5.0:
+    print("FAIL: defended/attacked goodput ratio below 5x", file=sys.stderr)
+    sys.exit(1)
+if not j["defense_ok"]:
+    print("FAIL: ext_defense contract failures", file=sys.stderr)
+    sys.exit(1)
+print("defense gate passed")
+EOF
 
 if [[ "$RUN_PERF" == 1 ]]; then
   echo "== perf gate: ext_perf vs committed BENCH_ext_perf.json =="

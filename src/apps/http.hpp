@@ -30,6 +30,9 @@ class HttpRequestParser {
   std::vector<HttpRequest> feed(std::span<const std::uint8_t> data);
 
   [[nodiscard]] bool error() const { return error_; }
+  /// Bytes of an incomplete request are buffered (slowloris deadline
+  /// tracking keys off this).
+  [[nodiscard]] bool partial() const { return !buf_.empty(); }
   void reset() {
     buf_.clear();
     error_ = false;

@@ -1,5 +1,6 @@
 #include "apps/http_server.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "sim/simulator.hpp"
@@ -26,6 +27,8 @@ void HttpServer::attach_api(std::unique_ptr<socklib::SocketApi> api) {
 void HttpServer::start() {
   assert(api_ && "attach_api() before start()");
   listen_fd_ = api_->listen(port_, 1024, [this] { accept_loop(); });
+  sweep_timer_.cancel();
+  if (first_byte_deadline > 0 || header_deadline > 0) deadline_sweep();
 }
 
 void HttpServer::accept_loop() {
@@ -42,7 +45,9 @@ void HttpServer::accept_loop() {
     const Fd fd = api_->accept(listen_fd_, cb);
     if (fd == kBadFd) return;
     ++stats_.conns_accepted;
-    conns_.emplace(fd, Conn{});
+    Conn c;
+    c.accepted_at = sim().now();
+    conns_.emplace(fd, std::move(c));
     accept_loop();  // maybe more queued
   });
 }
@@ -57,14 +62,29 @@ void HttpServer::on_readable(Fd fd) {
     Conn& c = cit->second;
 
     std::uint8_t buf[4096];
+    std::size_t got = 0;
+    std::size_t completed = 0;
     while (true) {
       const std::size_t n = api_->recv(fd, buf);
       if (n == 0) break;
+      got += n;
       auto reqs = c.parser.feed({buf, n});
+      completed += reqs.size();
       for (auto& r : reqs) {
         c.queue.push_back(std::move(r));
         c.queue_at.push_back(sim().now());
       }
+    }
+    if (got > 0) {
+      c.got_bytes = true;
+      if (completed > 0) {
+        // Finishing a request is real progress: the header clock restarts
+        // for whatever partial request the parser still buffers.
+        c.header_start_at = c.parser.partial() ? sim().now() : 0;
+      } else if (c.header_start_at == 0) {
+        c.header_start_at = sim().now();
+      }
+      // else: trickled header bytes — deliberately NOT progress.
     }
     if (c.parser.error()) {
       api_->close(fd);
@@ -150,6 +170,38 @@ void HttpServer::continue_write(Fd fd) {
 }
 
 void HttpServer::finish(Fd fd) { conns_.erase(fd); }
+
+void HttpServer::deadline_sweep() {
+  const sim::SimTime now = sim().now();
+  std::vector<Fd> stalled;
+  for (auto& [fd, c] : conns_) {
+    if (first_byte_deadline > 0 && !c.got_bytes &&
+        now - c.accepted_at > first_byte_deadline) {
+      stalled.push_back(fd);
+    } else if (header_deadline > 0 && c.header_start_at > 0 &&
+               now - c.header_start_at > header_deadline) {
+      stalled.push_back(fd);
+    }
+  }
+  for (Fd fd : stalled) {
+    ++stats_.deadline_closes;
+    api_->close(fd);
+    finish(fd);
+  }
+  if (!stalled.empty()) {
+    sim().metrics().counter("http.deadline_closes").inc(stalled.size());
+  }
+  // Sweep at a quarter of the tightest configured deadline: a holder
+  // overstays by at most 25%.
+  sim::SimTime tight = 0;
+  if (first_byte_deadline > 0) tight = first_byte_deadline;
+  if (header_deadline > 0 && (tight == 0 || header_deadline < tight)) {
+    tight = header_deadline;
+  }
+  if (tight == 0) return;
+  const sim::SimTime period = std::max<sim::SimTime>(tight / 4, sim::kMillisecond);
+  sweep_timer_ = after(period, 0, [this] { deadline_sweep(); });
+}
 
 void HttpServer::on_restart() {
   conns_.clear();

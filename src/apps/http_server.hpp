@@ -35,6 +35,8 @@ class HttpServer : public sim::Process {
     std::uint64_t bytes_sent{0};
     std::uint64_t not_found{0};
     std::uint64_t conn_errors{0};
+    /// Connections closed by the slowloris header deadlines.
+    std::uint64_t deadline_closes{0};
   };
 
   HttpServer(sim::Simulator& sim, std::string name, const FileStore& files,
@@ -57,6 +59,14 @@ class HttpServer : public sim::Process {
   /// 1000).
   int max_requests_per_conn{1000};
 
+  /// Slowloris defense. `first_byte_deadline` bounds accept() -> first
+  /// byte; `header_deadline` bounds the time from a request's first byte
+  /// to its complete header (it deliberately does NOT reset on trickled
+  /// bytes — that trickle is the attack). Completing a request resets the
+  /// clock for the next one. 0 disables (the undefended baseline).
+  sim::SimTime first_byte_deadline{0};
+  sim::SimTime header_deadline{0};
+
  protected:
   void on_restart() override;
 
@@ -70,6 +80,11 @@ class HttpServer : public sim::Process {
     bool respond_pending{0};
     std::vector<HttpRequest> queue;  // pipelined/waiting requests
     std::vector<sim::SimTime> queue_at;  // arrival stamp per queued request
+    sim::SimTime accepted_at{0};
+    bool got_bytes{false};          // any data ever received
+    /// First byte of the in-progress request's header (0 = no partial
+    /// request outstanding); the header deadline measures from here.
+    sim::SimTime header_start_at{0};
   };
 
   void accept_loop();
@@ -77,6 +92,7 @@ class HttpServer : public sim::Process {
   void serve_next(socklib::Fd fd);
   void continue_write(socklib::Fd fd);
   void finish(socklib::Fd fd);
+  void deadline_sweep();
 
   const FileStore& files_;
   std::uint16_t port_;
@@ -86,6 +102,7 @@ class HttpServer : public sim::Process {
   socklib::Fd listen_fd_{socklib::kBadFd};
   std::unordered_map<socklib::Fd, Conn> conns_;
   obs::Histogram* req_latency_{nullptr};
+  sim::EventHandle sweep_timer_;
 };
 
 }  // namespace neat::apps

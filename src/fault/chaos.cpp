@@ -148,9 +148,11 @@ void ChaosCampaign::do_handshake_crash() {
 }
 
 void ChaosCampaign::do_scale_down_crash() {
-  // Only meaningful with a survivor to take the load; fall back otherwise.
+  // Only meaningful with a survivor to take the load, and only legal with
+  // tracking filters (draining a loaded replica without them is a hard
+  // error — see NeatHost::begin_scale_down); fall back otherwise.
   auto active = host_.active_replicas();
-  if (active.size() < 2) {
+  if (active.size() < 2 || !host_.nic().params().tracking_filters) {
     do_replica_crash();
     return;
   }

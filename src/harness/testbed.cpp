@@ -175,6 +175,9 @@ ServerRig build_neat_server(Testbed& tb, NeatServerOptions opt) {
   rig.testbed_token = tb.depend();
   for (const auto& [path, size] : opt.files) rig.files->add(path, size);
   if (opt.tracking_filters) tb.server_nic.set_tracking_filters(true);
+  assert((!opt.defer_syn_filters || opt.tracking_filters) &&
+         "defer_syn_filters needs tracking filters to defer");
+  if (opt.defer_syn_filters) tb.server_nic.set_defer_syn_filters(true);
 
   NeatHost::Config hc = opt.host;
   hc.kind = opt.multi_component ? NeatHost::Config::Kind::kMulti
@@ -205,6 +208,8 @@ ServerRig build_neat_server(Testbed& tb, NeatServerOptions opt) {
         static_cast<std::uint16_t>(kBasePort + w), opt.server_costs);
     const auto& slot = pl.webs[static_cast<std::size_t>(w)];
     srv->pin(mc.thread(slot.core, slot.thread));
+    srv->first_byte_deadline = opt.http_first_byte_deadline;
+    srv->header_deadline = opt.http_header_deadline;
     srv->attach_api(std::make_unique<socklib::SockLib>(*srv, *rig.neat));
     srv->start();
     rig.webs.push_back(std::move(srv));
@@ -250,6 +255,9 @@ ClientRig build_client(Testbed& tb, ClientOptions opt, int num_ports) {
   rig.testbed_token = tb.depend();
   NeatHost::Config hc;
   hc.kind = NeatHost::Config::Kind::kSingle;
+  // The client shares the simulator (and so the metrics registry) with the
+  // system under test: a distinct host id keeps its census gauges apart.
+  hc.host_id = 1;
   hc.costs = opt.costs;
   hc.tcp = opt.tcp;
   // Load generators churn tens of thousands of connections per second out

@@ -185,6 +185,13 @@ struct NeatServerOptions {
   apps::HttpServer::Costs server_costs{};
   std::vector<std::pair<std::string, std::size_t>> files{{"/file20", 20}};
   bool tracking_filters{false};  // forwarded to NIC at testbed build time
+  /// SYN-flood defense: no tracking filter until the handshake completes
+  /// (requires tracking_filters; pair with host.tcp.syn_cookies so no TCB
+  /// exists either until then).
+  bool defer_syn_filters{false};
+  /// Slowloris defense: forwarded to every web server before start().
+  sim::SimTime http_first_byte_deadline{0};
+  sim::SimTime http_header_deadline{0};
 };
 
 [[nodiscard]] ServerRig build_neat_server(Testbed& tb, NeatServerOptions opt);

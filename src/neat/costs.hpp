@@ -46,6 +46,10 @@ struct StackCosts {
   sim::Cycles checkpoint_base{4000};      ///< per checkpoint pass
   sim::Cycles checkpoint_per_conn{350};   ///< per established connection
 
+  // --- live connection migration (replica-to-replica hand-off) -----------
+  sim::Cycles migrate_base{6000};      ///< freeze/thaw pass, either side
+  sim::Cycles migrate_per_conn{450};   ///< serialize/adopt one connection
+
   // --- control plane --------------------------------------------------------
   sim::Cycles syscall_server{3500};  ///< SYSCALL server per request
   sim::Cycles replica_control{2500}; ///< replica-side control op

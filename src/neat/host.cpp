@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace neat {
 
@@ -97,10 +99,20 @@ StackReplica& NeatHost::add_replica(
 
 void NeatHost::note_replica_census() {
   auto& m = sim_.metrics();
-  m.gauge("neat.replicas_active")
-      .set(static_cast<double>(active_replicas().size()));
-  m.gauge("neat.replicas_serving")
-      .set(static_cast<double>(serving_replicas().size()));
+  const double active = static_cast<double>(active_replicas().size());
+  const double serving = static_cast<double>(serving_replicas().size());
+  // Keyed per host: two hosts sharing one simulator (server + workload
+  // client is the common pair) each get their own census series instead
+  // of last-writer-wins on a single pair of gauges.
+  const std::string prefix = "neat.host" + std::to_string(config_.host_id);
+  m.gauge(prefix + ".replicas_active").set(active);
+  m.gauge(prefix + ".replicas_serving").set(serving);
+  // Host 0 (the system under test, by convention) also feeds the legacy
+  // unscoped names that dashboards and scenario samplers read.
+  if (config_.host_id == 0) {
+    m.gauge("neat.replicas_active").set(active);
+    m.gauge("neat.replicas_serving").set(serving);
+  }
 }
 
 std::vector<StackReplica*> NeatHost::active_replicas() {
@@ -192,6 +204,19 @@ void NeatHost::update_steering() {
 
 void NeatHost::begin_scale_down(StackReplica& replica) {
   if (replica.terminating || replica.terminated) return;
+  // Draining leans entirely on the NIC's per-flow tracking filters: pulling
+  // the replica's queue out of the RSS indirection re-shuffles every flow
+  // that has no exact-match filter, so without filters the "drain" resets
+  // the very connections it was meant to preserve. That is a configuration
+  // bug, not a degraded mode — fail loudly.
+  if (!nic_.params().tracking_filters &&
+      replica.tcp().active_connection_count() > 0) {
+    std::fprintf(stderr,
+                 "neat: lazy termination requires tracking filters "
+                 "(draining replica %d holds %zu connections)\n",
+                 replica.id(), replica.tcp().active_connection_count());
+    std::abort();
+  }
   replica.terminating = true;
   sim_.tracer().emit({sim_.now(), 0, "neat", "scale_down", 0, replica.id(),
                       "\"conns_draining\":" + std::to_string(
@@ -200,6 +225,80 @@ void NeatHost::begin_scale_down(StackReplica& replica) {
   // to the NIC's per-flow tracking filters.
   update_steering();
   note_replica_census();
+}
+
+void NeatHost::migrate_connections(StackReplica& from, StackReplica& to,
+                                   std::function<void(std::size_t)> on_done) {
+  assert(&from != &to);
+  // The repoint of per-flow exact-match filters IS the migration mechanism
+  // on the RX side; without tracking filters the moved flows would hash
+  // back to the source's queue and die there.
+  if (!nic_.params().tracking_filters) {
+    std::fprintf(stderr,
+                 "neat: connection migration requires tracking filters\n");
+    std::abort();
+  }
+  NeatHost* self = this;
+  StackReplica* src = &from;
+  StackReplica* dst = &to;
+  sim_.tracer().emit({sim_.now(), 0, "neat", "migrate_begin", 0, from.id(),
+                      "\"to\":" + std::to_string(to.id())});
+  // 1. Open the NIC capture window (driver/control context). Keys are read
+  //    at the same instant the window opens so nothing slips past: every
+  //    frame for a moving flow from here on is buffered, not delivered.
+  driver_->control([self, src, dst, on_done = std::move(on_done)] {
+    auto keys = std::make_shared<std::vector<net::FlowKey>>();
+    src->tcp().for_each_connection(
+        [&](net::TcpSocket& s) { keys->push_back(s.flow()); });
+    self->nic_.begin_flow_capture(*keys);
+    const sim::SimTime t0 = self->sim_.now();
+    // 2. Freeze + extract in the source's TCP context, charged per conn.
+    const sim::Cycles freeze =
+        self->config_.costs.migrate_base +
+        self->config_.costs.migrate_per_conn *
+            static_cast<sim::Cycles>(keys->size());
+    src->tcp_process().post(freeze, [self, src, dst, t0, on_done] {
+      auto cp = std::make_shared<net::TcpCheckpoint>(
+          src->tcp().extract_for_migration());
+      // 3. Ship the image over IPC: the adopt cost lands in the target's
+      //    TCP context and scales with the serialized bytes.
+      const sim::Cycles thaw =
+          self->config_.costs.migrate_base +
+          self->config_.costs.migrate_per_conn *
+              static_cast<sim::Cycles>(cp->conns.size()) +
+          self->config_.costs.bytes_cost(cp->bytes());
+      dst->tcp_process().post(thaw, [self, src, dst, cp, t0, on_done] {
+        auto adopted = std::make_shared<std::vector<net::TcpSocketPtr>>(
+            dst->tcp().adopt(*cp));
+        // 4. Repoint the filters, then close the window and replay what it
+        //    buffered — strictly in this order, and only now: a filter
+        //    repointed before adopt would deliver frames to a stack that
+        //    does not know the flow yet (instant RST), and a replay before
+        //    the repoint would re-deliver to the drained source.
+        self->driver_->control([self, src, dst, cp, adopted, t0, on_done] {
+          for (const auto& c : cp->conns) {
+            self->nic_.add_flow_filter(c.flow, dst->queue());
+          }
+          self->nic_.end_flow_capture();
+          // 5. Socket libraries re-home their fd-attached sockets.
+          for (auto* l : self->listeners_) {
+            l->on_connections_migrated(*src, *dst, *adopted);
+          }
+          const sim::SimTime blackout = self->sim_.now() - t0;
+          self->sim_.metrics()
+              .histogram("neat.migration_blackout_ns")
+              .record(blackout);
+          self->sim_.metrics().counter("neat.migrations").inc();
+          self->sim_.tracer().emit(
+              {self->sim_.now(), 0, "neat", "migrate_done", 0, src->id(),
+               "\"to\":" + std::to_string(dst->id()) + ",\"conns\":" +
+                   std::to_string(cp->conns.size()) + ",\"blackout_ns\":" +
+                   std::to_string(blackout)});
+          if (on_done) on_done(cp->conns.size());
+        });
+      });
+    });
+  });
 }
 
 void NeatHost::retire_queue(int queue) {

@@ -57,6 +57,17 @@ class ReplicaFailureListener {
   virtual void on_replica_tcp_recovery(
       StackReplica& replica,
       const std::vector<net::TcpSocketPtr>& restored) = 0;
+  /// Established connections moved live from one replica to another
+  /// (immediate scale-down drain). `adopted` are the target-side socket
+  /// objects; libraries re-home the fd-attached sockets by flow match.
+  /// Defaulted so listeners that predate migration keep compiling.
+  virtual void on_connections_migrated(
+      StackReplica& from, StackReplica& to,
+      const std::vector<net::TcpSocketPtr>& adopted) {
+    (void)from;
+    (void)to;
+    (void)adopted;
+  }
 };
 
 /// One durable listen() record; replayed onto replicas after restart and
@@ -116,6 +127,10 @@ class NeatHost {
   struct Config {
     enum class Kind { kSingle, kMulti };
     Kind kind{Kind::kSingle};
+    /// Distinguishes hosts that share one simulator (and hence one metrics
+    /// registry): the replica-census gauges are keyed by this id so a
+    /// client-side host cannot clobber the server's census.
+    int host_id{0};
     StackCosts costs{};
     net::TcpConfig tcp{};
     sim::SimTime restart_delay{20 * sim::kMillisecond};
@@ -193,6 +208,19 @@ class NeatHost {
   /// Mark a replica for lazy termination: new connections avoid it; it is
   /// garbage-collected when its connection count reaches zero.
   void begin_scale_down(StackReplica& replica);
+
+  /// Live connection migration: move every ESTABLISHED connection from
+  /// `from` to `to` while both replicas are up, so a scale-down drains
+  /// immediately instead of waiting for clients to hang up. Sequence:
+  /// open a NIC capture window for the moving flows, freeze+extract in
+  /// the source's TCP context, ship the image, adopt in the target's TCP
+  /// context, repoint the exact-match filters to the target's queue, then
+  /// close the window and replay the frames it buffered. `on_done` (if
+  /// set) fires with the number of connections moved; the blackout
+  /// (capture open -> replay) lands in the "neat.migration_blackout_ns"
+  /// histogram. Requires tracking filters (the repoint is the mechanism).
+  void migrate_connections(StackReplica& from, StackReplica& to,
+                           std::function<void(std::size_t)> on_done = {});
 
   // --- reliability (§3.6) ----------------------------------------------------
   /// Crash one component of a replica. The crash is all this does: the

@@ -2,6 +2,23 @@
 
 namespace neat {
 
+namespace {
+
+/// Shared TcpEnv::on_flow_established body: with handshake-deferred
+/// tracking filters, a passively established flow earns its exact-match
+/// steering entry now — installed in driver context, pinned to the
+/// replica's queue (where RSS delivered the whole handshake).
+void deferred_filter_install(drv::NicDriver* driver, const net::FlowKey& key,
+                             int queue) {
+  if (driver == nullptr) return;
+  const nic::NicParams& p = driver->nic().params();
+  if (!p.tracking_filters || !p.defer_syn_filters) return;
+  driver->control(
+      [driver, key, queue] { driver->nic().add_flow_filter(key, queue); });
+}
+
+}  // namespace
+
 const char* to_string(Component c) {
   switch (c) {
     case Component::kIp: return "ip";
@@ -111,6 +128,7 @@ SingleComponentReplica::SingleComponentReplica(
                    sim.rng().split(0xa5172 + static_cast<std::uint64_t>(id))()),
       costs_(costs),
       rng_(sim.rng().split(0x5e9 + static_cast<std::uint64_t>(id))),
+      driver_(&driver),
       tx_port_(driver.make_tx_port()),
       rx_ch_(
           *this, 2048, ipc::kDefaultChannelLatency,
@@ -198,6 +216,10 @@ void SingleComponentReplica::udp_tx(net::PacketPtr payload,
   });
 }
 
+void SingleComponentReplica::on_flow_established(const net::FlowKey& key) {
+  deferred_filter_install(driver_, key, queue());
+}
+
 void SingleComponentReplica::on_crash() {
   // All state dies with the process — silently, as seen from the wire.
   tcp_stack_.destroy_all_state();
@@ -246,6 +268,10 @@ void TcpComponent::tx(net::PacketPtr segment, net::Ipv4Addr src,
     owner_.tcp_to_ip_->send(MultiComponentReplica::TcpToIp{
         std::move(segment), src, dst, net::IpProto::kTcp});
   });
+}
+
+void TcpComponent::on_flow_established(const net::FlowKey& key) {
+  deferred_filter_install(owner_.driver_, key, owner_.queue());
 }
 
 void TcpComponent::on_crash() { tcp_stack_.destroy_all_state(); }
@@ -309,7 +335,8 @@ MultiComponentReplica::MultiComponentReplica(
     net::TcpConfig tcp_cfg)
     : StackReplica(id, queue,
                    sim.rng().split(0xa5173 + static_cast<std::uint64_t>(id))()),
-      costs_(costs) {
+      costs_(costs),
+      driver_(&driver) {
   const std::string base = "multi" + std::to_string(id);
   drv_tx_ = driver.make_tx_port();
   tcp_proc_ = std::make_unique<TcpComponent>(sim, *this, base + ".tcp", ip,

@@ -177,6 +177,7 @@ class SingleComponentReplica final : public sim::Process,
     return static_cast<std::uint32_t>(rng_());
   }
   obs::Hub* obs_hub() override { return &sim().obs(); }
+  void on_flow_established(const net::FlowKey& key) override;
 
   [[nodiscard]] IpLayer& ip_layer() { return ip_; }
 
@@ -189,6 +190,7 @@ class SingleComponentReplica final : public sim::Process,
 
   StackCosts costs_;
   sim::Rng rng_;
+  drv::NicDriver* driver_;  // deferred-filter installs go through here
   drv::NicDriver::TxPort tx_port_;     // → driver (or NIC, when offloaded)
   ipc::Channel<net::PacketPtr> rx_ch_;  // driver → this
   IpLayer ip_;
@@ -222,6 +224,7 @@ class TcpComponent final : public sim::Process, public net::TcpEnv {
     return static_cast<std::uint32_t>(rng_());
   }
   obs::Hub* obs_hub() override { return &sim().obs(); }
+  void on_flow_established(const net::FlowKey& key) override;
 
  protected:
   void on_crash() override;
@@ -338,6 +341,7 @@ class MultiComponentReplica final : public StackReplica {
   };
 
   StackCosts costs_;
+  drv::NicDriver* driver_;  // deferred-filter installs go through here
   drv::NicDriver::TxPort drv_tx_;
   std::unique_ptr<TcpComponent> tcp_proc_;
   std::unique_ptr<IpComponent> ip_proc_;

@@ -86,6 +86,74 @@ std::optional<TcpHeader> TcpHeader::decode(Packet& pkt, Ipv4Addr src,
   return h;
 }
 
+// ---------------------------------------------------------------------------
+// SYN cookies
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// 26-bit keyed MAC binding the cookie to the full (unmasked) counter, so
+/// a stale cookie fails even when its 3-bit tag aliases a current period.
+std::uint32_t cookie_mac(std::uint64_t secret, const FlowKey& flow,
+                         std::uint32_t client_isn, std::uint32_t count,
+                         unsigned mss_idx) {
+  std::uint64_t h = mix64(secret ^ 0x4e4561547631ULL);  // "NEaTv1"
+  h = mix64(h ^ (static_cast<std::uint64_t>(flow.local_ip.value) << 32 |
+                 flow.remote_ip.value));
+  h = mix64(h ^ (static_cast<std::uint64_t>(flow.local_port) << 48 |
+                 static_cast<std::uint64_t>(flow.remote_port) << 32 |
+                 client_isn));
+  h = mix64(h ^ (static_cast<std::uint64_t>(count) << 3 | mss_idx));
+  return static_cast<std::uint32_t>(h) & 0x03ffffffu;
+}
+
+}  // namespace
+
+unsigned syn_cookie_mss_index(std::uint16_t mss) {
+  unsigned idx = 0;
+  for (unsigned i = 0; i < kSynCookieMss.size(); ++i) {
+    if (kSynCookieMss[i] <= mss) idx = i;
+  }
+  return idx;
+}
+
+std::uint32_t syn_cookie_make(std::uint64_t secret, const FlowKey& flow,
+                              std::uint32_t client_isn, std::uint32_t count,
+                              unsigned mss_idx) {
+  mss_idx &= 7u;
+  return (count & 7u) << 29 | static_cast<std::uint32_t>(mss_idx) << 26 |
+         cookie_mac(secret, flow, client_isn, count, mss_idx);
+}
+
+std::optional<std::uint16_t> syn_cookie_check(std::uint64_t secret,
+                                              const FlowKey& flow,
+                                              std::uint32_t client_isn,
+                                              std::uint32_t cookie,
+                                              std::uint32_t now_count) {
+  const std::uint32_t tag = cookie >> 29;
+  const unsigned mss_idx = (cookie >> 26) & 7u;
+  const std::uint32_t mac = cookie & 0x03ffffffu;
+  // Accept the current and the previous rotation period only.
+  for (std::uint32_t age = 0; age <= 1; ++age) {
+    if (age > now_count) break;
+    const std::uint32_t cand = now_count - age;
+    if ((cand & 7u) != tag) continue;
+    if (cookie_mac(secret, flow, client_isn, cand, mss_idx) == mac) {
+      return kSynCookieMss[mss_idx];
+    }
+  }
+  return std::nullopt;
+}
+
 const char* to_string(TcpState s) {
   switch (s) {
     case TcpState::kClosed: return "CLOSED";
@@ -768,6 +836,8 @@ TcpStack::TcpStack(TcpEnv& env, Ipv4Addr local_ip, TcpConfig cfg)
     : env_(env), local_ip_(local_ip), cfg_(cfg) {
   next_ephemeral_ = static_cast<std::uint16_t>(
       49152 + env_.random_u32() % 16000);
+  cookie_secret_ =
+      static_cast<std::uint64_t>(env_.random_u32()) << 32 | env_.random_u32();
 }
 
 TcpListener* TcpStack::listen(std::uint16_t port, std::size_t backlog) {
@@ -825,6 +895,13 @@ void TcpStack::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt) {
     auto lit = listeners_.find(h->dst_port);
     if (lit != listeners_.end()) {
       TcpListener& l = *lit->second;
+      if (cfg_.syn_cookies) {
+        // Stateless: answer with a cookie SYN|ACK and forget the SYN ever
+        // happened. No TCB, no pending-handshake slot, no backlog entry —
+        // a spoofed SYN costs this host nothing that outlives the reply.
+        send_cookie_synack(*h, key);
+        return;
+      }
       if (l.accept_q_.size() + pending_handshakes_ < l.backlog_) {
         auto sock = std::make_shared<TcpSocket>(*this, key, cfg_);
         conns_[key] = sock;
@@ -837,9 +914,75 @@ void TcpStack::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt) {
       return;
     }
   }
+  if (try_cookie_accept(*h, key, pkt)) return;
+  // A frame for a flow that migrated away can still be in flight through
+  // this replica's RX channel when the extract runs (the NIC capture window
+  // closes the NIC side, not the channel side). It is stale, not an error:
+  // drop it silently — the peer's copy was captured and replayed at the
+  // target. An RST here would kill the migrated connection.
+  if (migrated_out_.contains(key)) return;
   if (!h->rst) {
     send_rst_for(*h, src, dst, pkt ? pkt->size() : 0);
   }
+}
+
+std::uint32_t TcpStack::cookie_count() const {
+  const sim::SimTime period =
+      std::max<sim::SimTime>(cfg_.syn_cookie_rotate, 1);
+  return static_cast<std::uint32_t>(env_.now() / period);
+}
+
+void TcpStack::send_cookie_synack(const TcpHeader& syn, const FlowKey& key) {
+  const unsigned mss_idx = syn_cookie_mss_index(syn.mss_option.value_or(536));
+  TcpHeader h;
+  h.src_port = key.local_port;
+  h.dst_port = key.remote_port;
+  h.seq = syn_cookie_make(cookie_secret_, key, syn.seq, cookie_count(),
+                          mss_idx);
+  h.ack = syn.seq + 1;
+  h.syn = true;
+  h.ack_flag = true;
+  h.window = static_cast<std::uint16_t>(
+      std::min<std::size_t>(cfg_.recv_buf, 65535));
+  h.mss_option = static_cast<std::uint16_t>(cfg_.mss);
+  auto pkt = Packet::make(0);
+  h.encode(*pkt, key.local_ip, key.remote_ip);
+  ++stats_.segments_out;
+  ++stats_.syn_cookies_sent;
+  env_.tx(std::move(pkt), key.local_ip, key.remote_ip);
+}
+
+bool TcpStack::try_cookie_accept(const TcpHeader& h, const FlowKey& key,
+                                 PacketPtr& pkt) {
+  if (!cfg_.syn_cookies || h.syn || h.rst || !h.ack_flag) return false;
+  auto lit = listeners_.find(key.local_port);
+  if (lit == listeners_.end()) return false;
+  // The client echoes cookie+1 in the ACK; its first segment after the
+  // handshake (pure ACK or ACK+data) carries seq = client_isn + 1.
+  const std::uint32_t cookie = h.ack - 1;
+  const std::uint32_t client_isn = h.seq - 1;
+  const std::optional<std::uint16_t> mss = syn_cookie_check(
+      cookie_secret_, key, client_isn, cookie, cookie_count());
+  if (!mss) {
+    // Forged or expired cookie: allocate nothing, let the caller RST.
+    ++stats_.syn_cookies_rejected;
+    return false;
+  }
+  auto sock = std::make_shared<TcpSocket>(*this, key, cfg_);
+  conns_[key] = sock;
+  sock->iss_ = cookie;
+  sock->snd_una_ = cookie + 1;
+  sock->snd_nxt_ = cookie + 1;
+  sock->irs_ = client_isn;
+  sock->rcv_nxt_ = client_isn + 1;
+  sock->peer_mss_ = *mss;
+  sock->snd_wnd_ = h.window;
+  sock->set_state(TcpState::kEstablished);
+  ++stats_.syn_cookies_accepted;
+  handshake_complete(*sock);
+  // The validating ACK may carry the connection's first data bytes.
+  sock->on_segment(h, std::move(pkt));
+  return true;
 }
 
 void TcpStack::handshake_complete(TcpSocket& s) {
@@ -860,6 +1003,9 @@ void TcpStack::handshake_complete(TcpSocket& s) {
     return;
   }
   lit->second->accept_q_.push_back(s.shared_from_this());
+  // Deferred NIC filter install: the peer completed the handshake, so it
+  // has earned a steering filter (spoofed SYNs never reach this point).
+  env_.on_flow_established(s.flow());
   if (lit->second->on_ready_) lit->second->on_ready_();
 }
 
@@ -950,9 +1096,111 @@ TcpCheckpoint TcpStack::snapshot() const {
     sock->send_ring_.peek(s.send_buf);
     s.recv_buf.resize(sock->recv_ring_.readable());
     sock->recv_ring_.peek(s.recv_buf);
+    s.snd_nxt = sock->snd_nxt_;
     cp.conns.push_back(std::move(s));
   }
   return cp;
+}
+
+TcpCheckpoint TcpStack::extract_for_migration() {
+  TcpCheckpoint cp;
+  cp.taken_at = env_.now();
+  std::vector<TcpSocketPtr> moving;
+  for (const auto& [key, sock] : conns_) {
+    if (sock->state_ == TcpState::kEstablished) moving.push_back(sock);
+  }
+  for (const auto& sock : moving) {
+    TcpConnSnapshot s;
+    s.flow = sock->flow_;
+    s.iss = sock->iss_;
+    s.irs = sock->irs_;
+    s.snd_una = sock->snd_una_;
+    s.rcv_nxt = sock->rcv_nxt_;
+    s.snd_wnd = sock->snd_wnd_;
+    s.peer_mss = sock->peer_mss_;
+    s.send_buf.resize(sock->send_ring_.readable());
+    sock->send_ring_.peek(s.send_buf);
+    s.recv_buf.resize(sock->recv_ring_.readable());
+    sock->recv_ring_.peek(s.recv_buf);
+    s.snd_nxt = sock->snd_nxt_;
+    for (const auto& seg : sock->ooo_) s.ooo.push_back({seg.seq, seg.bytes});
+    s.fin_seen = sock->fin_seen_;
+    s.fin_rcv_seq = sock->fin_rcv_seq_;
+    // A connection the app never accepted lives in the listener queue; it
+    // must be re-enqueued at the target, not re-homed to a socket object.
+    if (auto lit = listeners_.find(sock->flow_.local_port);
+        lit != listeners_.end()) {
+      auto& q = lit->second->accept_q_;
+      if (auto qit = std::find(q.begin(), q.end(), sock); qit != q.end()) {
+        s.unaccepted = true;
+        q.erase(qit);
+      }
+    }
+    cp.conns.push_back(std::move(s));
+    migrated_out_.insert(sock->flow_);
+    // Remove silently, like destroy_all_state(): no FIN, no RST. The peer
+    // must observe nothing but a short pause — the connection continues
+    // from the checkpoint at the target. Drop the receive side so an app
+    // read racing the re-home cannot consume bytes the checkpoint already
+    // carries (they would be delivered twice).
+    sock->recv_ring_.clear();
+    sock->ooo_.clear();
+    sock->ooo_bytes_ = 0;
+    sock->state_ = TcpState::kClosed;
+    sock->rto_timer_.cancel();
+    sock->rto_deadline_ = 0;
+    sock->ack_timer_.cancel();
+    sock->time_wait_timer_.cancel();
+    conns_.erase(sock->flow_);
+  }
+  return cp;
+}
+
+std::vector<TcpSocketPtr> TcpStack::adopt(const TcpCheckpoint& cp) {
+  std::vector<TcpSocketPtr> adopted;
+  for (const auto& s : cp.conns) {
+    migrated_out_.erase(s.flow);  // the flow may be migrating back here
+    if (conns_.contains(s.flow)) continue;
+    auto sock = std::make_shared<TcpSocket>(*this, s.flow, cfg_);
+    sock->state_ = TcpState::kEstablished;
+    sock->state_entered_ = env_.now();
+    sock->iss_ = s.iss;
+    sock->irs_ = s.irs;
+    sock->snd_una_ = s.snd_una;
+    // Unlike checkpoint restore, migration is byte-exact: nothing was lost
+    // between extract and adopt (the NIC capture buffer replays the gap),
+    // so output resumes from snd_nxt. Congestion state restarts from the
+    // initial window — a deliberate slow-start restart after the move.
+    sock->snd_nxt_ = s.snd_nxt;
+    sock->rcv_nxt_ = s.rcv_nxt;
+    sock->snd_wnd_ = s.snd_wnd;
+    sock->peer_mss_ = s.peer_mss;
+    sock->send_ring_.write(s.send_buf);
+    sock->recv_ring_.write(s.recv_buf);
+    for (const auto& seg : s.ooo) {
+      sock->ooo_.push_back({seg.seq, seg.bytes});
+      sock->ooo_bytes_ += seg.bytes.size();
+    }
+    sock->fin_seen_ = s.fin_seen;
+    sock->fin_rcv_seq_ = s.fin_rcv_seq;
+    conns_[s.flow] = sock;
+    if (sock->inflight() > 0) sock->arm_rto();
+    // Un-transmitted send-ring bytes must not wait for an inbound event
+    // that may never come (the peer could be idle, waiting for us).
+    sock->try_output();
+    if (s.unaccepted) {
+      auto lit = listeners_.find(s.flow.local_port);
+      if (lit == listeners_.end()) {
+        sock->abort();  // nobody will ever accept it here
+        continue;
+      }
+      lit->second->accept_q_.push_back(sock);
+      if (lit->second->on_ready_) lit->second->on_ready_();
+    } else {
+      adopted.push_back(sock);
+    }
+  }
+  return adopted;
 }
 
 std::vector<TcpSocketPtr> TcpStack::restore(const TcpCheckpoint& cp) {
@@ -988,6 +1236,7 @@ void TcpStack::destroy_all_state() {
   auto conns = std::move(conns_);
   conns_.clear();
   listeners_.clear();
+  migrated_out_.clear();
   pending_handshakes_ = 0;
   // Sockets die silently: no FIN, no RST — exactly what a crash looks like
   // to the peers. Destructors cancel all timers.

@@ -29,6 +29,7 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "ipc/byte_ring.hpp"
@@ -105,7 +106,48 @@ struct TcpConfig {
   int data_retries{8};
   bool tso{true};
   std::size_t tso_limit{65535 - 120};  ///< max bytes per emitted segment
+  /// SYN-cookie mode (RFC 4987 shape): a listener under cookies answers
+  /// every SYN with a stateless SYN|ACK whose ISN encodes the connection
+  /// parameters — no TCB exists until the final ACK validates. Spoofed
+  /// SYNs therefore allocate nothing.
+  bool syn_cookies{false};
+  /// Cookie secret rotation period; a cookie is accepted for the current
+  /// and the previous period (so the handshake RTT may straddle a
+  /// rotation), then expires.
+  sim::SimTime syn_cookie_rotate{500 * sim::kMillisecond};
 };
+
+// --------------------------------------------------------------------------
+// SYN cookies
+// --------------------------------------------------------------------------
+//
+// Cookie ISN layout (32 bits):   [31:29] counter mod 8
+//                                [28:26] MSS table index
+//                                [25:0]  26-bit MAC over
+//                                        (secret, 4-tuple, client ISN,
+//                                         counter, MSS index)
+// The functions are pure so tests can pin golden vectors.
+
+/// MSS values encodable in a cookie (3 bits). Offered MSS is rounded down.
+inline constexpr std::array<std::uint16_t, 8> kSynCookieMss{
+    536, 1220, 1440, 1460, 2960, 4380, 8760, 9000};
+
+/// Largest kSynCookieMss index whose value is <= mss.
+[[nodiscard]] unsigned syn_cookie_mss_index(std::uint16_t mss);
+
+/// Build the cookie ISN for a SYN from `flow` (as seen locally) carrying
+/// `client_isn`, at rotation-counter `count`.
+[[nodiscard]] std::uint32_t syn_cookie_make(std::uint64_t secret,
+                                            const FlowKey& flow,
+                                            std::uint32_t client_isn,
+                                            std::uint32_t count,
+                                            unsigned mss_idx);
+
+/// Validate a cookie echoed back in an ACK. Returns the negotiated MSS, or
+/// nullopt if the MAC fails or the cookie is older than one rotation.
+[[nodiscard]] std::optional<std::uint16_t> syn_cookie_check(
+    std::uint64_t secret, const FlowKey& flow, std::uint32_t client_isn,
+    std::uint32_t cookie, std::uint32_t now_count);
 
 /// Host environment a TcpStack runs in; implemented by each containing
 /// component (replica process, kernel model, test fixture).
@@ -123,6 +165,11 @@ class TcpEnv {
   /// Observability hub of the enclosing simulation; nullptr disables all
   /// metric/trace recording (bare unit-test environments).
   [[nodiscard]] virtual obs::Hub* obs_hub() { return nullptr; }
+  /// A passive connection reached ESTABLISHED. NEaT replicas use this to
+  /// install the NIC exact-match steering filter only once the peer has
+  /// proven liveness (deferred filter install — spoofed SYNs never get
+  /// one). Default: nothing.
+  virtual void on_flow_established(const FlowKey&) {}
 };
 
 // --------------------------------------------------------------------------
@@ -342,6 +389,9 @@ struct TcpStats {
   std::uint64_t syns_dropped_backlog{0};
   std::uint64_t pure_acks_out{0};
   std::uint64_t data_segments_out{0};
+  std::uint64_t syn_cookies_sent{0};
+  std::uint64_t syn_cookies_accepted{0};
+  std::uint64_t syn_cookies_rejected{0};
 };
 
 /// Serialized state of one established connection, for checkpoint-based
@@ -358,6 +408,17 @@ struct TcpConnSnapshot {
   std::uint16_t peer_mss{536};
   std::vector<std::uint8_t> send_buf;  ///< unacked + unsent stream bytes
   std::vector<std::uint8_t> recv_buf;  ///< received, not yet read by app
+  // Extra fidelity used by live migration (checkpoint restore deliberately
+  // ignores these and retransmits from snd_una — see restore()).
+  std::uint32_t snd_nxt{0};
+  struct OooChunk {
+    std::uint32_t seq;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<OooChunk> ooo;  ///< out-of-order reassembly segments
+  bool fin_seen{false};       ///< peer FIN observed beyond a reassembly hole
+  std::uint32_t fin_rcv_seq{0};
+  bool unaccepted{false};  ///< established but still in the listener queue
 };
 
 /// A point-in-time checkpoint of a stack's established connections.
@@ -444,11 +505,31 @@ class TcpStack {
   /// Returns the restored sockets (for the library to re-attach).
   std::vector<TcpSocketPtr> restore(const TcpCheckpoint& cp);
 
+  /// Live migration, source side: snapshot every ESTABLISHED connection at
+  /// full fidelity (snd_nxt, reassembly buffer, accept-queue membership)
+  /// and remove them from this stack silently — no FIN, no RST, timers
+  /// cancelled. The connections now live only in the returned checkpoint.
+  [[nodiscard]] TcpCheckpoint extract_for_migration();
+
+  /// Live migration, target side: recreate the extracted connections in
+  /// this stack byte-exactly. Connections never accepted by the app are
+  /// re-enqueued into this stack's listener for the same port (dropped
+  /// with a RST if none exists). Returns the adopted sockets, in snapshot
+  /// order, for the socket library to re-home (excludes re-enqueued ones).
+  std::vector<TcpSocketPtr> adopt(const TcpCheckpoint& cp);
+
  private:
   friend class TcpSocket;
 
   void send_rst_for(const TcpHeader& h, Ipv4Addr src, Ipv4Addr dst,
                     std::size_t payload_len);
+  void send_cookie_synack(const TcpHeader& syn, const FlowKey& key);
+  /// Try to complete a cookie handshake from an un-matched ACK. Returns
+  /// true if the segment was consumed (socket created or cookie judged
+  /// stale), false to fall through to the RST path.
+  bool try_cookie_accept(const TcpHeader& h, const FlowKey& key,
+                         PacketPtr& pkt);
+  [[nodiscard]] std::uint32_t cookie_count() const;
   void socket_closed(TcpSocket& s);  // remove from table when fully done
   void handshake_complete(TcpSocket& s);
   // Observability (all no-ops when env reports no hub). Metric handles are
@@ -466,9 +547,13 @@ class TcpStack {
   TcpConfig cfg_;
   TcpStats stats_;
   std::unordered_map<FlowKey, TcpSocketPtr, FlowKeyHash> conns_;
+  /// Flows extracted for migration: stale frames still in this replica's
+  /// RX channel must be dropped, not RST'd (erased if the flow returns).
+  std::unordered_set<FlowKey, FlowKeyHash> migrated_out_;
   std::unordered_map<std::uint16_t, std::unique_ptr<TcpListener>> listeners_;
   std::uint16_t next_ephemeral_{0};
   std::size_t pending_handshakes_{0};
+  std::uint64_t cookie_secret_{0};
   obs::Histogram* rtt_hist_{nullptr};
   obs::Counter* retx_counter_{nullptr};
   obs::Counter* handshake_counter_{nullptr};

@@ -42,16 +42,46 @@ void Nic::add_flow_filter(const net::FlowKey& key, int queue) {
     touch_lru(key);
     return;
   }
-  if (flows_.size() >= params_.flow_table_capacity) {
-    // Evict least recently used.
-    const net::FlowKey victim = lru_.back();
-    lru_.pop_back();
-    flows_.erase(victim);
-    ++stats_.filters_evicted;
-  }
+  if (flows_.size() >= params_.flow_table_capacity) evict_one_filter();
   lru_.push_front(key);
-  flows_.emplace(key, FlowEntry{queue, lru_.begin(), ++filter_gen_, false});
+  FlowEntry e{queue, lru_.begin(), ++filter_gen_, false};
+  e.installed_at = sim_.now();
+  e.last_hit = sim_.now();
+  flows_.emplace(key, std::move(e));
   ++stats_.filters_installed;
+}
+
+void Nic::evict_one_filter() {
+  // Sample the K least-recently-used entries and pick the lowest-scoring
+  // one: entries that never steered a post-install packet ("embryonic" —
+  // exactly what a spoofed SYN leaves behind) lose to any active flow;
+  // among equals the stalest last activity goes. Sampling keeps eviction
+  // O(K) under an install storm, which is when it runs hottest.
+  constexpr int kSample = 16;
+  auto victim = lru_.end();
+  bool victim_embryonic = false;
+  sim::SimTime victim_last = 0;
+  int scanned = 0;
+  for (auto it = std::prev(lru_.end());; --it) {
+    const FlowEntry& e = flows_.find(*it)->second;
+    const bool embryonic = e.hits == 0;
+    const bool better =
+        victim == lru_.end() || (embryonic && !victim_embryonic) ||
+        (embryonic == victim_embryonic && e.last_hit < victim_last);
+    if (better) {
+      victim = it;
+      victim_embryonic = embryonic;
+      victim_last = e.last_hit;
+    }
+    if (++scanned >= kSample || it == lru_.begin()) break;
+  }
+  flows_.erase(*victim);
+  lru_.erase(victim);
+  ++stats_.filters_evicted;
+  if (evict_counter_ == nullptr) {
+    evict_counter_ = &sim_.metrics().counter("nic.filter_evictions");
+  }
+  evict_counter_->inc();
 }
 
 void Nic::retire_flow_on_fin(const net::FlowKey& key) {
@@ -184,10 +214,20 @@ void Nic::receive(net::PacketPtr frame) {
 
   int queue = 0;
   const auto flow = peek_flow(*frame, ip_);
+  if (capturing_ && flow && capture_set_.contains(flow->key)) {
+    // Migration window: the flow's state is in transit between replicas.
+    // Park the frame; end_flow_capture() replays it through classification
+    // once the filter points at the new owner.
+    ++stats_.capture_buffered;
+    capture_buf_.push_back(std::move(frame));
+    return;
+  }
   if (flow && (flow->key.local_port != 0 || flow->key.remote_port != 0)) {
     if (auto it = flows_.find(flow->key); it != flows_.end()) {
       queue = it->second.queue;
       ++stats_.rx_steered_filter;
+      ++it->second.hits;
+      it->second.last_hit = sim_.now();
       touch_lru(flow->key);
       if (params_.tracking_filters && flow->rst) {
         remove_flow_filter(flow->key);  // flow is gone; free the entry
@@ -201,9 +241,24 @@ void Nic::receive(net::PacketPtr frame) {
                         flow->key.local_ip, flow->key.local_port);
       ++stats_.rx_steered_rss;
       if (params_.tracking_filters && flow->is_tcp && flow->syn) {
-        // The paper's proposed hardware extension: remember where this
-        // flow's first packet went so later indirection changes (scale
-        // up/down) never move it.
+        if (!params_.defer_syn_filters) {
+          // The paper's proposed hardware extension: remember where this
+          // flow's first packet went so later indirection changes (scale
+          // up/down) never move it. In defer mode the stack installs the
+          // filter itself once the handshake completes.
+          add_flow_filter(flow->key, queue);
+        }
+      } else if (params_.tracking_filters && !params_.defer_syn_filters &&
+                 flow->is_tcp && !flow->rst) {
+        // Mid-flow packet with no filter: the entry was evicted under
+        // pressure. Re-fault it back in at the RSS-chosen queue (in defer
+        // mode re-install is the stack's job, and a handshake ACK arriving
+        // filterless is normal there, not a fault).
+        ++stats_.filters_refaulted;
+        if (refault_counter_ == nullptr) {
+          refault_counter_ = &sim_.metrics().counter("nic.filter_refaults");
+        }
+        refault_counter_->inc();
         add_flow_filter(flow->key, queue);
       }
       note_steering(/*filter_hit=*/false, *flow, queue);
@@ -236,6 +291,22 @@ void Nic::note_steering(bool filter_hit, const ParsedFlow& flow, int queue) {
     tracer.emit({sim_.now(), 0, "nic", "syn_received", 0, queue, args});
     tracer.emit({sim_.now(), 0, "nic", "replica_steered", 0, queue,
                  std::move(args)});
+  }
+}
+
+void Nic::begin_flow_capture(const std::vector<net::FlowKey>& keys) {
+  for (const auto& k : keys) capture_set_.emplace(k, true);
+  capturing_ = true;
+}
+
+void Nic::end_flow_capture() {
+  capturing_ = false;
+  capture_set_.clear();
+  std::vector<net::PacketPtr> buf = std::move(capture_buf_);
+  capture_buf_.clear();
+  for (auto& frame : buf) {
+    ++stats_.capture_replayed;
+    receive(std::move(frame));  // full re-classification, repointed filters
   }
 }
 

@@ -38,6 +38,11 @@ struct NicParams {
   /// to, so reconfiguring the indirection table (scale up/down) never moves
   /// an existing connection.
   bool tracking_filters{false};
+  /// Defense mode for tracking filters: do NOT install a filter when a SYN
+  /// is steered by RSS — the stack installs it (via the driver) only once
+  /// the handshake completes. A spoofed SYN then never consumes a flow
+  /// table entry. Meaningful only with tracking_filters.
+  bool defer_syn_filters{false};
   /// How long a tracking filter outlives the first FIN seen on its flow.
   /// The filter must survive the rest of the close handshake (the peer's
   /// FIN/ACK still needs to reach the same queue) and the local TIME_WAIT,
@@ -62,6 +67,13 @@ struct NicStats {
   /// Steering decisions by mechanism: exact-match filter hit vs RSS hash.
   std::uint64_t rx_steered_filter{0};
   std::uint64_t rx_steered_rss{0};
+  /// Non-SYN TCP packets of a tracked flow that arrived without a filter —
+  /// the flow's entry was evicted under pressure and the packet fell back
+  /// to RSS (SYN-install mode re-installs the filter on the spot).
+  std::uint64_t filters_refaulted{0};
+  /// Frames held in / replayed from the migration capture buffer.
+  std::uint64_t capture_buffered{0};
+  std::uint64_t capture_replayed{0};
 };
 
 /// Per-flow observation parsed by the classifier (also exposed to tests).
@@ -94,6 +106,9 @@ class Nic {
   /// Tune the FIN-to-reclaim linger after construction (workload scenarios
   /// shorten it so retirement is observable within a sub-second run).
   void set_fin_retire_linger(sim::SimTime t) { params_.fin_retire_linger = t; }
+
+  /// Toggle handshake-deferred filter installation (see NicParams).
+  void set_defer_syn_filters(bool on) { params_.defer_syn_filters = on; }
   [[nodiscard]] const NicStats& stats() const { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
@@ -122,6 +137,17 @@ class Nic {
   std::size_t remove_filters_for_queue(int queue);
   [[nodiscard]] std::optional<int> flow_filter(const net::FlowKey& key) const;
   [[nodiscard]] std::size_t flow_filter_count() const { return flows_.size(); }
+
+  /// Live-migration capture window: frames whose flow is in `keys` are
+  /// buffered instead of delivered, from this call until
+  /// end_flow_capture() re-injects them through normal classification.
+  /// Opened BEFORE the source stack snapshots, closed AFTER the filters
+  /// are repointed, so no packet is processed against half-moved state.
+  void begin_flow_capture(const std::vector<net::FlowKey>& keys);
+  void end_flow_capture();
+  [[nodiscard]] std::size_t captured_frame_count() const {
+    return capture_buf_.size();
+  }
 
   // --- data plane -----------------------------------------------------------
 
@@ -157,6 +183,10 @@ class Nic {
 
  private:
   void touch_lru(const net::FlowKey& key);
+  /// Scored eviction under table pressure: sample the LRU tail, preferring
+  /// "embryonic" entries (never steered a post-install packet — what a
+  /// spoofed SYN leaves behind) and breaking ties by stalest activity.
+  void evict_one_filter();
   /// First FIN observed on a tracked flow: mark it and schedule the entry's
   /// reclamation after fin_retire_linger (generation-guarded).
   void retire_flow_on_fin(const net::FlowKey& key);
@@ -185,12 +215,20 @@ class Nic {
     /// re-installs with a fresh generation and must keep its filter).
     std::uint64_t gen{0};
     bool fin_seen{false};
+    sim::SimTime installed_at{0};
+    sim::SimTime last_hit{0};
+    std::uint64_t hits{0};  ///< post-install packets steered by this entry
   };
   std::unordered_map<net::FlowKey, FlowEntry, net::FlowKeyHash> flows_;
   std::list<net::FlowKey> lru_;  // front = most recent
   std::uint64_t filter_gen_{0};
+  std::unordered_map<net::FlowKey, bool, net::FlowKeyHash> capture_set_;
+  std::vector<net::PacketPtr> capture_buf_;
+  bool capturing_{false};
   obs::Counter* steer_filter_counter_{nullptr};
   obs::Counter* steer_rss_counter_{nullptr};
+  obs::Counter* evict_counter_{nullptr};
+  obs::Counter* refault_counter_{nullptr};
 };
 
 /// Wire impairment knobs — the adversarial packet dynamics a robustness

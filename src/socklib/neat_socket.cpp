@@ -33,7 +33,7 @@ CloseReason map_reason(net::TcpCloseReason r) {
 NeatSocket::NeatSocket(sim::Process& app, StackReplica& replica,
                        const StackCosts& costs, net::TcpSocketPtr tcp)
     : app_(app),
-      replica_(replica),
+      replica_(&replica),
       costs_(costs),
       tcp_(std::move(tcp)),
       tx_ring_(std::min<std::size_t>(
@@ -101,7 +101,7 @@ void NeatSocket::close() {
   // capture a strong reference rather than going through the weak-handler
   // doorbell.
   auto self = shared_from_this();
-  replica_.tcp_process().post(costs_.doorbell_take, [self] { self->pump(); });
+  replica_->tcp_process().post(costs_.doorbell_take, [self] { self->pump(); });
 }
 
 void NeatSocket::set_events(Events ev) {
@@ -125,6 +125,13 @@ void NeatSocket::reattach(net::TcpSocketPtr tcp) {
   to_stack_.ring();
 }
 
+void NeatSocket::rehome(StackReplica& replica, net::TcpSocketPtr tcp) {
+  if (failed_ || closed_delivered_) return;
+  replica_ = &replica;
+  to_stack_.rebind(replica.tcp_process());
+  reattach(std::move(tcp));
+}
+
 void NeatSocket::fail() {
   if (failed_) return;
   failed_ = true;
@@ -136,6 +143,17 @@ void NeatSocket::pump() {
   // Replica context: move bytes tx_ring -> TCP send buffer, charging the
   // replica for the copy. One outstanding drain job at a time.
   if (pump_scheduled_ || failed_) return;
+  const auto st = tcp_->state();
+  const bool can_accept =
+      st == net::TcpState::kEstablished || st == net::TcpState::kCloseWait ||
+      st == net::TcpState::kSynSent || st == net::TcpState::kSynRcvd;
+  if (!can_accept) {
+    // Reset or migrated-out-under-us socket: nothing can be pushed now. A
+    // reset socket delivers on_closed (dispatch releases the ring); a
+    // migrated one re-rings this doorbell after rehome.
+    if (close_requested_) self_keepalive_.reset();
+    return;
+  }
   const std::size_t n = std::min(tx_ring_.readable(), tcp_->send_space());
   if (n == 0) {
     if (close_requested_) {
@@ -153,14 +171,20 @@ void NeatSocket::pump() {
   }
   pump_scheduled_ = true;
   auto self = shared_from_this();
-  replica_.tcp_process().post(
+  replica_->tcp_process().post(
       costs_.sock_drain_base + costs_.bytes_cost(n), [self, n] {
         self->pump_scheduled_ = false;
         if (self->failed_) return;
+        // Peek, send, then consume only what TCP accepted: the socket may
+        // have been migrated out (silently closed) since this job was
+        // posted, in which case send() takes nothing and the bytes stay in
+        // the ring for the post-rehome pump to deliver.
         std::vector<std::uint8_t> buf(n);
-        const std::size_t got = self->tx_ring_.read(buf);
+        const std::size_t got = self->tx_ring_.peek(buf);
         if (got > 0) {
-          self->tcp_->send(std::span<const std::uint8_t>{buf.data(), got});
+          const std::size_t accepted =
+              self->tcp_->send(std::span<const std::uint8_t>{buf.data(), got});
+          self->tx_ring_.discard(accepted);
         }
         if (self->want_write_ && self->tx_ring_.writable() > 0) {
           self->want_write_ = false;

@@ -59,7 +59,12 @@ class NeatSocket : public std::enable_shared_from_this<NeatSocket> {
   /// rewire callbacks — the application never notices the crash.
   void reattach(net::TcpSocketPtr tcp);
 
-  [[nodiscard]] StackReplica& replica() const { return replica_; }
+  /// Live migration: this connection now lives on `replica` as `tcp`.
+  /// Re-targets the stack-side doorbell and rewires callbacks; pending
+  /// tx-ring bytes drain into the new replica's send buffer.
+  void rehome(StackReplica& replica, net::TcpSocketPtr tcp);
+
+  [[nodiscard]] StackReplica& replica() const { return *replica_; }
   [[nodiscard]] net::TcpSocket& tcp() const { return *tcp_; }
 
  private:
@@ -75,7 +80,7 @@ class NeatSocket : public std::enable_shared_from_this<NeatSocket> {
   void dispatch();                  // app context
 
   sim::Process& app_;
-  StackReplica& replica_;
+  StackReplica* replica_;  // pointer: migration re-homes the socket
   const StackCosts costs_;
   net::TcpSocketPtr tcp_;
   ipc::ByteRing tx_ring_;

@@ -260,4 +260,23 @@ void SockLib::on_replica_tcp_recovery(
   }
 }
 
+void SockLib::on_connections_migrated(
+    StackReplica& from, StackReplica& to,
+    const std::vector<net::TcpSocketPtr>& adopted) {
+  // Unlike a crash, migration moves every fd-attached connection intact:
+  // match by flow and re-home. A socket of `from`'s that is NOT in the
+  // adopted set was already closing (extract only moves ESTABLISHED) — it
+  // keeps its old attachment and finishes dying where it is.
+  for (auto& [fd, sock] : conns_) {
+    if (&sock->replica() != &from) continue;
+    const net::FlowKey flow = sock->tcp().flow();
+    for (const auto& a : adopted) {
+      if (a->flow() == flow) {
+        sock->rehome(to, a);
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace neat::socklib

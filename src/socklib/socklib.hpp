@@ -46,6 +46,9 @@ class SockLib final : public SocketApi, public ReplicaFailureListener {
   void on_replica_tcp_recovery(
       StackReplica& replica,
       const std::vector<net::TcpSocketPtr>& restored) override;
+  void on_connections_migrated(
+      StackReplica& from, StackReplica& to,
+      const std::vector<net::TcpSocketPtr>& adopted) override;
 
   [[nodiscard]] NeatHost& host() { return host_; }
   [[nodiscard]] std::size_t open_sockets() const { return conns_.size(); }

@@ -105,6 +105,24 @@ void Slowloris::open_one() {
         trickle(fd);
       });
     };
+    cb.on_readable = [this](Fd fd) {
+      if (!held_.contains(fd)) return;
+      std::uint8_t buf[256];
+      while (api_->recv(fd, buf) > 0) {
+      }
+      if (api_->eof(fd)) {
+        // The server shed us with an orderly close; reconnect to keep the
+        // pressure constant (what a real attack tool's event loop does).
+        // close() frees the connection record that owns this very callback,
+        // so it must run from a fresh job, not from inside the closure.
+        held_.erase(fd);
+        ++stats_.conns_lost;
+        post(0, [this, fd] {
+          api_->close(fd);
+          open_one();
+        });
+      }
+    };
     cb.on_closed = [this](Fd fd, CloseReason) {
       if (held_.erase(fd) == 0) return;
       ++stats_.conns_lost;

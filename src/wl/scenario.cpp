@@ -77,6 +77,10 @@ ScenarioResult run_scenario(const Scenario& sc) {
   so.webs = n_tenants;
   so.placement = pl;
   so.tracking_filters = sc.tracking_filters;
+  so.defer_syn_filters = sc.defer_syn_filters;
+  so.host.tcp.syn_cookies = sc.syn_cookies;
+  so.http_first_byte_deadline = sc.http_first_byte_deadline;
+  so.http_header_deadline = sc.http_header_deadline;
   so.files = {{"/file20", 20}};  // adversaries fetch this
   sim::Rng catalog_rng(sc.seed ^ 0xca7a1095u);
   std::vector<std::vector<std::string>> catalogs;
@@ -107,6 +111,9 @@ ScenarioResult run_scenario(const Scenario& sc) {
   cs.token = tb.depend();
   NeatHost::Config hc;
   hc.kind = NeatHost::Config::Kind::kSingle;
+  // Distinct host id: the census gauges are keyed per host, so the client
+  // host no longer clobbers the server's replica counts.
+  hc.host_id = 1;
   // Open-loop generators + churn storms recycle ephemeral ports fast;
   // mirror build_client()'s tcp_tw_reuse-style client tuning.
   hc.tcp.time_wait = 50 * sim::kMillisecond;
@@ -210,10 +217,10 @@ ScenarioResult run_scenario(const Scenario& sc) {
                                                     server_mac);
   }
 
-  // Replica-count timeline. Sampled from the server host directly: the
-  // `neat.replicas_serving` census gauge lives in the sim-wide registry and
-  // the client host (also a NeatHost) writes the same name, so the gauge is
-  // last-writer-wins across hosts.
+  // Replica-count timeline, sampled from the server host. (The census
+  // gauges are now keyed per host id, so reading the host directly and
+  // reading `neat.host0.replicas_serving` agree; direct access also gives
+  // us the NIC filter high-water mark in the same sweep.)
   ScenarioResult res;
   res.name = sc.name;
   const sim::SimTime horizon = sc.warmup + sc.measure;
@@ -223,6 +230,9 @@ ScenarioResult run_scenario(const Scenario& sc) {
     tb.sim.queue().schedule(t, [&tb, &res, shost, debug] {
       res.replica_timeline.emplace_back(tb.sim.now(),
                                         shost->serving_replicas().size());
+      res.server_flow_filters_peak =
+          std::max<std::uint64_t>(res.server_flow_filters_peak,
+                                  tb.server_nic.flow_filter_count());
       if (debug) {
         const obs::Gauge* u =
             tb.sim.metrics().find_gauge("autoscaler.mean_utilization");
@@ -281,9 +291,26 @@ ScenarioResult run_scenario(const Scenario& sc) {
   }
   for (const auto& f : cs.floods) res.syns_sent += f->stats().syns_sent;
   for (const auto& s : cs.storms) res.churn_conns += s->stats().opened;
-  for (const auto& l : cs.loris) res.slowloris_held += l->held();
+  for (const auto& l : cs.loris) {
+    res.slowloris_held += l->held();
+    res.slowloris_shed += l->stats().conns_lost;
+  }
   res.server_filters_retired = tb.server_nic.stats().filters_retired;
   res.server_flow_filters_end = tb.server_nic.flow_filter_count();
+  res.server_filter_evictions = tb.server_nic.stats().filters_evicted;
+  for (std::size_t i = 0; i < shost->replica_count(); ++i) {
+    const auto& ts = shost->replica(i).tcp().stats();
+    res.syn_cookies_sent += ts.syn_cookies_sent;
+    res.syn_cookies_accepted += ts.syn_cookies_accepted;
+    res.syn_cookies_rejected += ts.syn_cookies_rejected;
+  }
+  for (const auto& w : server.webs) {
+    res.http_deadline_closes += w->app_stats().deadline_closes;
+  }
+  if (const auto* c = tb.sim.metrics().find_counter("neat.migrations");
+      c != nullptr) {
+    res.migrations = c->value();
+  }
 
   // Quiesce generation before teardown so no adversary keeps re-arming.
   for (auto& t : cs.tenants) t->stop();

@@ -53,6 +53,15 @@ struct Scenario {
   int replicas{1};
   bool multi_component{false};
   bool tracking_filters{false};
+  // --- defenses (ext_defense benches run each scenario with and without) --
+  /// SYN cookies: no TCB until the handshake's final ACK validates.
+  bool syn_cookies{false};
+  /// No NIC tracking filter until the handshake completes (needs
+  /// tracking_filters).
+  bool defer_syn_filters{false};
+  /// Web-server slowloris deadlines (0 = undefended).
+  sim::SimTime http_first_byte_deadline{0};
+  sim::SimTime http_header_deadline{0};
   /// Override the NIC's FIN-to-reclaim linger (0 = keep the NIC default).
   /// Sub-second scenarios shorten it so filter retirement is observable.
   sim::SimTime fin_retire_linger{0};
@@ -98,8 +107,21 @@ struct ScenarioResult {
   std::uint64_t syns_sent{0};
   std::uint64_t churn_conns{0};
   std::uint64_t slowloris_held{0};
+  /// Times the server shed a slowloris holder (the adversary reopens, so the
+  /// standing population stays at target — sheds measure bounded lifetime).
+  std::uint64_t slowloris_shed{0};
   std::uint64_t server_filters_retired{0};
   std::uint64_t server_flow_filters_end{0};
+  /// High-water mark of the server NIC flow-filter table (sampled on the
+  /// replica timeline) — shows whether a flood can exhaust the table.
+  std::uint64_t server_flow_filters_peak{0};
+  std::uint64_t server_filter_evictions{0};
+  std::uint64_t syn_cookies_sent{0};
+  std::uint64_t syn_cookies_accepted{0};
+  std::uint64_t syn_cookies_rejected{0};
+  /// Connections the web servers closed for overstaying a header deadline.
+  std::uint64_t http_deadline_closes{0};
+  std::uint64_t migrations{0};
 };
 
 ScenarioResult run_scenario(const Scenario& sc);

@@ -466,6 +466,76 @@ TEST(TcpStreamProperty, CheckpointRestoreResumesMidStream) {
   EXPECT_TRUE(got == sent) << "stream corrupted across checkpoint/restore";
 }
 
+TEST(TcpStreamProperty, MigrationPreservesExactStreamUnderLossAndReorder) {
+  // Ping-pong the server side of a live transfer between two stacks with
+  // extract_for_migration()/adopt() — no quiesce, the wire stays impaired
+  // the whole time. Frames in flight toward the old stack hit its
+  // migrated-out tombstone and are silently dropped; retransmission must
+  // recover them, and the delivered stream must stay byte-exact.
+  for (std::uint64_t seed : {31, 32, 33}) {
+    sim::Simulator sim;
+    const double loss = 0.03;
+    const sim::SimTime jitter = 1 * sim::kMillisecond;
+    LossyWire cwire(sim, seed * 3 + 1, loss, jitter);
+    LossyWire swire_a(sim, seed * 3 + 2, loss, jitter);
+    LossyWire swire_b(sim, seed * 3 + 3, loss, jitter);
+    net::TcpStack client(cwire, kClientIp, stream_cfg());
+    net::TcpStack server_a(swire_a, kServerIp, stream_cfg());
+    net::TcpStack server_b(swire_b, kServerIp, stream_cfg());
+    cwire.set_peer(&server_a);
+    swire_a.set_peer(&client);
+    swire_b.set_peer(&client);
+
+    sim::Rng rng(seed);
+    std::vector<std::uint8_t> sent(96 * 1024);
+    for (auto& b : sent) b = static_cast<std::uint8_t>(rng());
+    std::vector<std::uint8_t> got;
+
+    net::TcpSocketPtr accepted;
+    net::TcpListener* listener = server_a.listen(80);
+    listener->set_accept_ready([&] { accepted = listener->accept(); });
+    auto sock = client.connect(net::SockAddr{kServerIp, 80});
+    sim.run_for(300 * sim::kMillisecond);
+    ASSERT_TRUE(accepted != nullptr) << "handshake failed under seed " << seed;
+
+    net::TcpStack* here = &server_a;
+    net::TcpStack* there = &server_b;
+    int migrations = 0;
+    std::size_t written = 0;
+    std::uint8_t buf[4096];
+    while (got.size() < sent.size()) {
+      if (written < sent.size() && rng.chance(0.6)) {
+        const std::size_t want =
+            std::min<std::size_t>(1 + rng.below(4096), sent.size() - written);
+        written += sock->send({sent.data() + written, want});
+      }
+      for (std::size_t n = accepted->recv(buf); n > 0;
+           n = accepted->recv(buf)) {
+        got.insert(got.end(), buf, buf + n);
+      }
+      if (rng.chance(0.08)) {
+        // Mid-stream hand-off, in-flight segments and all.
+        const net::TcpCheckpoint cp = here->extract_for_migration();
+        ASSERT_EQ(cp.conns.size(), 1u);
+        auto adopted = there->adopt(cp);
+        ASSERT_EQ(adopted.size(), 1u);
+        accepted = adopted[0];
+        cwire.set_peer(there);
+        std::swap(here, there);
+        ++migrations;
+      }
+      sim.run_for(1 + rng.below(2 * sim::kMillisecond));
+      ASSERT_LT(sim.now(), 600 * sim::kSecond)
+          << "migrated stream stalled (seed " << seed << ")";
+    }
+    EXPECT_GT(migrations, 2) << "seed " << seed
+                             << " must actually exercise migration";
+    ASSERT_EQ(got.size(), sent.size());
+    EXPECT_TRUE(got == sent)
+        << "stream corrupted across migration (seed " << seed << ")";
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Channel registry reset
 // ---------------------------------------------------------------------------

@@ -119,21 +119,20 @@ TEST_F(ScalingFixture, LazyTerminationNeverBreaksConnections) {
             acc_before);
 }
 
-TEST_F(ScalingFixture, AbruptShutdownWithoutTrackingBreaksConnections) {
+TEST_F(ScalingFixture, AbruptShutdownWithoutTrackingIsRefused) {
   // The ablation the paper argues for: without per-flow tracking filters,
-  // re-steering moves live flows to the wrong replica and they die.
+  // re-steering moves live flows to the wrong replica and they die. That
+  // foot-gun is no longer reachable — draining a replica that still holds
+  // connections without tracking filters is a hard error, not silent
+  // connection loss.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   build(/*tracking_filters=*/false, 2);
   tb->sim.run_for(150 * sim::kMillisecond);
   StackReplica& victim = server->neat->replica(1);
   ASSERT_GT(victim.tcp().active_connection_count(), 0u);
 
-  const auto errors_before = client_errors();
-  // Re-steer new traffic away; with plain RSS this moves *existing* flows
-  // too, so their packets land at a replica that answers with RST.
-  server->neat->begin_scale_down(victim);
-  tb->sim.run_for(500 * sim::kMillisecond);
-  EXPECT_GT(client_errors(), errors_before)
-      << "without tracking filters, re-steering kills live connections";
+  EXPECT_DEATH(server->neat->begin_scale_down(victim),
+               "lazy termination requires tracking filters");
 }
 
 TEST_F(ScalingFixture, SteeringUsesOnlyActiveReplicaQueues) {
