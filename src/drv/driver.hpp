@@ -79,13 +79,18 @@ class NicDriver : public sim::Process {
  protected:
   void on_restart() override;
 
+  /// Max frames drained per driver job. Matches ipc::Channel's batch
+  /// budget: one doorbell moves up to a burst, bounding per-job latency.
+  static constexpr std::size_t kRxBurst = 32;
+
  private:
   void rx_kick(int queue);
-  void drain_one(int queue);
+  void drain_burst(int queue, std::size_t budget);
 
   nic::Nic& nic_;
   StackCosts costs_;
   DriverStats dstats_;
+  obs::Histogram* rx_batch_size_{nullptr};
 
   struct Endpoint {
     ipc::Channel<net::PacketPtr>* channel{nullptr};

@@ -440,6 +440,22 @@ void NeatHost::recover_driver() {
   if (!driver_->crashed()) return;
   driver_->restart();
   // Replica TX channels into the driver forget in-flight frames.
+  //
+  // Re-announce every replica that should be receiving. A replica
+  // recovered while the driver was down — or in the window before its
+  // announce control op executed — lost that announce (work posted to a
+  // crashed process is silently dropped), and nothing else would ever
+  // repair the endpoint: the steering entry stays live while the driver
+  // drops every frame for it. Crashed replicas are skipped; their own
+  // recovery re-announces them. Announcing an already-active endpoint is
+  // idempotent (it just re-kicks the ring scan).
+  for (auto& r : replicas_) {
+    if (r->terminated || r->rx_channel().consumer().crashed()) continue;
+    StackReplica& replica = *r;
+    driver_->control([this, &replica] {
+      driver_->announce_endpoint(replica.queue(), &replica.rx_channel());
+    });
+  }
   update_steering();
 }
 

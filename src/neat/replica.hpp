@@ -186,7 +186,10 @@ class SingleComponentReplica final : public sim::Process,
 
  private:
   void handle_frame(net::PacketPtr frame);
+  void handle_frame_batch(std::vector<net::PacketPtr>&& frames);
   void handle_ip(const net::Ipv4Header& hdr, net::PacketPtr payload);
+  [[nodiscard]] bool pf_pass(const net::Ipv4Header& hdr,
+                             const net::Packet& payload) const;
 
   StackCosts costs_;
   sim::Rng rng_;
@@ -327,12 +330,10 @@ class MultiComponentReplica final : public StackReplica {
   friend class IpComponent;
   friend class UdpComponent;
 
-  // Inter-component messages.
-  struct IpToTcp {
-    net::Ipv4Addr src;
-    net::Ipv4Addr dst;
-    net::PacketPtr seg;
-  };
+  // Inter-component messages. IP→TCP reuses the stack's burst arrival
+  // record so a whole channel batch moves into TcpStack::rx_batch without
+  // per-message repacking.
+  using IpToTcp = net::TcpStack::SegmentArrival;
   struct TcpToIp {
     net::PacketPtr payload;
     net::Ipv4Addr src;

@@ -881,7 +881,16 @@ void TcpStack::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt) {
   ++stats_.segments_in;
   auto h = TcpHeader::decode(*pkt, src, dst);
   if (!h) {
+    // Wire corruption caught by the transport checksum (or a mangled
+    // header): drop silently, exactly like a real stack, but leave an
+    // audit trail on the obs hub for the chaos campaigns.
     ++stats_.checksum_drops;
+    if (obs::Hub* hub = env_.obs_hub()) {
+      if (checksum_drop_counter_ == nullptr) {
+        checksum_drop_counter_ = &hub->metrics.counter("tcp.checksum_drops");
+      }
+      checksum_drop_counter_->inc();
+    }
     return;
   }
   if (h->rst) ++stats_.rsts_in;
@@ -923,6 +932,24 @@ void TcpStack::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt) {
   if (migrated_out_.contains(key)) return;
   if (!h->rst) {
     send_rst_for(*h, src, dst, pkt ? pkt->size() : 0);
+  }
+}
+
+void TcpStack::rx_batch(std::vector<SegmentArrival>&& batch,
+                        const std::function<bool()>& alive) {
+  if (batch.empty()) return;
+  // Per-burst (not per-segment) observability: one timestamped histogram
+  // record covers the whole batch. Virtual time cannot advance inside this
+  // job, so every segment in the burst shares the timestamp anyway.
+  if (obs::Hub* hub = env_.obs_hub()) {
+    if (rx_batch_hist_ == nullptr) {
+      rx_batch_hist_ = &hub->metrics.histogram("tcp.rx_batch_size");
+    }
+    rx_batch_hist_->record(batch.size());
+  }
+  for (auto& a : batch) {
+    if (alive && !alive()) break;
+    rx(a.src, a.dst, std::move(a.seg));
   }
 }
 

@@ -471,6 +471,21 @@ class TcpStack {
   /// Entry point for TCP segments from IP (pkt starts at the TCP header).
   void rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt);
 
+  /// One arrival from IP, as staged by a burst-mode RX channel.
+  struct SegmentArrival {
+    Ipv4Addr src;
+    Ipv4Addr dst;
+    PacketPtr seg;
+  };
+
+  /// Burst entry point: consume a whole RX batch in one consumer job with
+  /// one obs-timestamp/histogram record per burst instead of per-segment
+  /// bookkeeping. `alive` (optional) is consulted between segments so a
+  /// handler that crashes its own process mid-burst stops the loop — the
+  /// rest of the burst died inside that process's memory.
+  void rx_batch(std::vector<SegmentArrival>&& batch,
+                const std::function<bool()>& alive = {});
+
   [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
 
   /// Connections currently mid-handshake (SYN seen, not yet established).
@@ -555,8 +570,10 @@ class TcpStack {
   std::size_t pending_handshakes_{0};
   std::uint64_t cookie_secret_{0};
   obs::Histogram* rtt_hist_{nullptr};
+  obs::Histogram* rx_batch_hist_{nullptr};
   obs::Counter* retx_counter_{nullptr};
   obs::Counter* handshake_counter_{nullptr};
+  obs::Counter* checksum_drop_counter_{nullptr};
   std::array<obs::Histogram*, 11> dwell_hist_{};
 };
 

@@ -22,7 +22,8 @@ Nic::Nic(sim::Simulator& sim, net::MacAddr mac, net::Ipv4Addr ip,
       params_(params),
       indirection_(params.indirection_entries, 0),
       rx_queues_(static_cast<std::size_t>(params.num_queues)),
-      rx_heads_(static_cast<std::size_t>(params.num_queues), 0) {}
+      rx_heads_(static_cast<std::size_t>(params.num_queues), 0),
+      rx_irq_armed_(static_cast<std::size_t>(params.num_queues), 0) {}
 
 void Nic::set_active_queues(const std::vector<int>& queues) {
   assert(!queues.empty());
@@ -37,6 +38,10 @@ void Nic::set_indirection(std::vector<int> table) {
 }
 
 void Nic::add_flow_filter(const net::FlowKey& key, int queue) {
+  // An explicit install means the 4-tuple is live again (fresh SYN, or the
+  // stack re-announcing after a handshake): any dead-flow memory for it is
+  // stale.
+  fin_retired_.erase(key);
   if (auto it = flows_.find(key); it != flows_.end()) {
     it->second.queue = queue;
     touch_lru(key);
@@ -97,6 +102,18 @@ void Nic::retire_flow_on_fin(const net::FlowKey& key) {
     if (it2 == flows_.end() || it2->second.gen != gen) return;
     remove_flow_filter(key);
     ++stats_.filters_retired;
+    // Remember the flow as dead for a grace window: close-handshake
+    // stragglers still in flight (FIN retransmits, the final ACK — always
+    // present when fin_retire_linger < TIME_WAIT) must not re-fault the
+    // filter back in, or it leaks forever. A scheduled sweep erases the
+    // memory; an earlier sweep for a refreshed entry no-ops on expiry.
+    fin_retired_[key] = sim_.now() + params_.dead_flow_memory;
+    sim_.queue().post(params_.dead_flow_memory, [this, key] {
+      auto d = fin_retired_.find(key);
+      if (d != fin_retired_.end() && sim_.now() >= d->second) {
+        fin_retired_.erase(d);
+      }
+    });
   });
 }
 
@@ -253,13 +270,19 @@ void Nic::receive(net::PacketPtr frame) {
         // Mid-flow packet with no filter: the entry was evicted under
         // pressure. Re-fault it back in at the RSS-chosen queue (in defer
         // mode re-install is the stack's job, and a handshake ACK arriving
-        // filterless is normal there, not a fault).
-        ++stats_.filters_refaulted;
-        if (refault_counter_ == nullptr) {
-          refault_counter_ = &sim_.metrics().counter("nic.filter_refaults");
+        // filterless is normal there, not a fault) — unless the flow was
+        // just FIN-retired: a straggler steers fine by RSS, but installing
+        // a dead flow's filter leaks it (no second FIN ever retires it).
+        if (fin_retired_.contains(flow->key)) {
+          ++stats_.refaults_suppressed_dead;
+        } else {
+          ++stats_.filters_refaulted;
+          if (refault_counter_ == nullptr) {
+            refault_counter_ = &sim_.metrics().counter("nic.filter_refaults");
+          }
+          refault_counter_->inc();
+          add_flow_filter(flow->key, queue);
         }
-        refault_counter_->inc();
-        add_flow_filter(flow->key, queue);
       }
       note_steering(/*filter_hit=*/false, *flow, queue);
     }
@@ -274,7 +297,24 @@ void Nic::receive(net::PacketPtr frame) {
   frame->rx_queue = queue;
   frame->nic_rx_time = sim_.now();
   q.push_back(std::move(frame));
-  if (rx_notify_) rx_notify_(queue);
+  if (!rx_notify_) return;
+  if (params_.rx_coalesce_usecs == 0) {
+    rx_notify_(queue);
+    return;
+  }
+  // Interrupt moderation: the first frame on an idle queue arms one
+  // doorbell a window in the future; frames landing before it fires share
+  // it, so the driver sees them as a burst.
+  auto& armed = rx_irq_armed_[static_cast<std::size_t>(queue)];
+  if (armed) return;
+  armed = 1;
+  sim_.queue().post(params_.rx_coalesce_usecs, [this, queue] {
+    rx_irq_armed_[static_cast<std::size_t>(queue)] = 0;
+    const auto qi = static_cast<std::size_t>(queue);
+    if (rx_notify_ && rx_heads_[qi] < rx_queues_[qi].size()) {
+      rx_notify_(queue);
+    }
+  });
 }
 
 void Nic::note_steering(bool filter_hit, const ParsedFlow& flow, int queue) {

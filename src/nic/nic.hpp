@@ -47,8 +47,22 @@ struct NicParams {
   /// The filter must survive the rest of the close handshake (the peer's
   /// FIN/ACK still needs to reach the same queue) and the local TIME_WAIT,
   /// after which the entry is dead weight the hardware should reclaim.
+  /// A linger shorter than TIME_WAIT is safe: for dead_flow_memory after
+  /// retirement, close-handshake stragglers are steered by RSS without
+  /// re-faulting the dead flow's filter back in (which would leak it —
+  /// nothing ever FINs a dead flow a second time).
   sim::SimTime fin_retire_linger{1 * sim::kSecond};
+  /// How long after FIN-retirement a flow key is remembered as dead so
+  /// straggler-driven refault is suppressed. Covers the peer's TIME_WAIT
+  /// and final retransmissions.
+  sim::SimTime dead_flow_memory{1 * sim::kSecond};
   bool tso{true};
+  /// RX interrupt moderation (ethtool rx-usecs): the first frame landing on
+  /// a queue with no doorbell pending schedules the driver notification this
+  /// far in the future; frames arriving inside the window ride the same
+  /// doorbell, so the driver drains them as one burst. 0 = interrupt per
+  /// frame. Trades microseconds of RX latency for fewer wake-ups.
+  sim::SimTime rx_coalesce_usecs{0};
 };
 
 struct NicStats {
@@ -71,6 +85,10 @@ struct NicStats {
   /// the flow's entry was evicted under pressure and the packet fell back
   /// to RSS (SYN-install mode re-installs the filter on the spot).
   std::uint64_t filters_refaulted{0};
+  /// Refaults suppressed because the flow was recently FIN-retired: a
+  /// close-handshake straggler must not re-install a dead flow's filter
+  /// (with fin_retire_linger < TIME_WAIT that leak would be permanent).
+  std::uint64_t refaults_suppressed_dead{0};
   /// Frames held in / replayed from the migration capture buffer.
   std::uint64_t capture_buffered{0};
   std::uint64_t capture_replayed{0};
@@ -109,6 +127,11 @@ class Nic {
 
   /// Toggle handshake-deferred filter installation (see NicParams).
   void set_defer_syn_filters(bool on) { params_.defer_syn_filters = on; }
+
+  /// Tune RX interrupt moderation after construction (see NicParams).
+  void set_rx_coalesce(sim::SimTime window) {
+    params_.rx_coalesce_usecs = window;
+  }
   [[nodiscard]] const NicStats& stats() const { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
@@ -204,6 +227,8 @@ class Nic {
   std::vector<int> indirection_;
   std::vector<std::vector<net::PacketPtr>> rx_queues_;  // FIFO per queue
   std::vector<std::size_t> rx_heads_;
+  /// Per-queue flag: a moderated doorbell event is already scheduled.
+  std::vector<std::uint8_t> rx_irq_armed_;
   std::function<void(int)> rx_notify_;
   Link* link_{nullptr};
 
@@ -220,6 +245,12 @@ class Nic {
     std::uint64_t hits{0};  ///< post-install packets steered by this entry
   };
   std::unordered_map<net::FlowKey, FlowEntry, net::FlowKeyHash> flows_;
+  /// Flows whose filter was FIN-retired, remembered until the stored
+  /// expiry time so straggler refault is suppressed (see NicParams::
+  /// dead_flow_memory). Entries are erased by a scheduled sweep event; a
+  /// fresh install for the key (4-tuple reuse) erases eagerly.
+  std::unordered_map<net::FlowKey, sim::SimTime, net::FlowKeyHash>
+      fin_retired_;
   std::list<net::FlowKey> lru_;  // front = most recent
   std::uint64_t filter_gen_{0};
   std::unordered_map<net::FlowKey, bool, net::FlowKeyHash> capture_set_;

@@ -93,7 +93,8 @@ class HwThread {
   /// Queue a job: `cost` cycles of work on behalf of `proc`, then `fn`.
   /// `kernel_cost` extends the occupancy (wake/resume overhead) without
   /// counting as useful processing.
-  void submit(Process& proc, Cycles cost, SmallFn fn, Cycles kernel_cost = 0);
+  void submit(Process& proc, Cycles cost, SmallFn&& fn,
+              Cycles kernel_cost = 0);
 
  private:
   friend class Machine;

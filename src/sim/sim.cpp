@@ -23,7 +23,7 @@ double HwThread::speed_factor() const {
   return 1.0;
 }
 
-void HwThread::submit(Process& proc, Cycles cost, SmallFn fn,
+void HwThread::submit(Process& proc, Cycles cost, SmallFn&& fn,
                       Cycles kernel_cost) {
   queue_.push_back(Job{&proc, cost, kernel_cost, std::move(fn), proc.epoch()});
   if (state_ == State::kPolling) preempt_poll();
@@ -67,10 +67,11 @@ void HwThread::start_next() {
       for (auto* thread_proc : pinned_procs_) thread_proc->became_idle();
       return;
     }
-    Job job = std::move(queue_[queue_head_++]);
+    Job& job = queue_[queue_head_++];
     Process& p = *job.proc;
     if (p.crashed() || p.epoch() != job.epoch) {
       // Work queued to a dead (or since-restarted) process evaporates.
+      job.fn.reset();
       p.backlog_ = p.backlog_ > 0 ? p.backlog_ - 1 : 0;
       continue;
     }

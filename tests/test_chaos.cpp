@@ -104,6 +104,11 @@ TEST_F(ChaosFixture, ImpairedLinkExercisesTcpRobustnessWithoutCorruption) {
   }
   EXPECT_GT(retransmits, 0u) << "drops must trigger retransmission";
   EXPECT_GT(checksum_drops, 0u) << "corruption must be caught by checksums";
+  // The detection is also visible on the obs hub, where chaos campaign
+  // reports read it. The counter aggregates every stack sharing the sim's
+  // registry (client side included), so it is at least the server-side sum.
+  EXPECT_GE(tb->sim.metrics().counter("tcp.checksum_drops").value(),
+            checksum_drops);
 
   // ...and not one corrupted byte reached an application.
   EXPECT_GT(client_requests(), 0u);
@@ -183,6 +188,32 @@ TEST_F(ChaosFixture, DriverCrashIsDetectedAndRestartedBySupervisor) {
   const auto req = client_requests();
   tb->sim.run_for(100 * sim::kMillisecond);
   EXPECT_GT(client_requests(), req) << "traffic flows after driver restart";
+}
+
+TEST_F(ChaosFixture, ReplicaAnnounceLostToDriverCrashIsRepairedOnRecovery) {
+  build(false, 2);
+  StackReplica& victim = host().replica(0);
+  const int q = victim.queue();
+
+  // Replica dies; its endpoint goes dark until it re-announces.
+  host().inject_crash(victim, Component::kWhole);
+  EXPECT_FALSE(host().driver().endpoint_active(q));
+
+  // The driver dies before the replica's recovery announce (a control op
+  // posted on the driver process) can execute: the announce is lost,
+  // because work posted to a crashed process is silently dropped.
+  host().inject_driver_crash();
+  host().recover_replica(victim, Component::kWhole);
+  tb->sim.run_for(1 * sim::kMillisecond);
+  EXPECT_FALSE(victim.tcp_process().crashed());
+  EXPECT_FALSE(host().driver().endpoint_active(q))
+      << "announce posted to a crashed driver must not take effect";
+
+  // Driver recovery must repair the endpoint — otherwise a live steering
+  // entry keeps pointing at a queue the driver silently drops, forever.
+  host().recover_driver();
+  tb->sim.run_for(1 * sim::kMillisecond);
+  EXPECT_TRUE(host().driver().endpoint_active(q));
 }
 
 TEST_F(ChaosFixture, RapidCrashLoopEscalatesBackoff) {

@@ -343,10 +343,11 @@ TEST_F(DefenseFixture, MigrationChurnLeaksNoFiltersOrSockets) {
   so.webs = 2;
   so.tracking_filters = true;
   build(so, /*requests_per_conn=*/40);
-  // Shortened so retirement is observable in-test, but still longer than
-  // TIME_WAIT: a linger below it lets close-handshake stragglers re-fault
-  // a dead flow's filter (the documented NicParams constraint).
-  tb->server_nic.set_fin_retire_linger(600 * sim::kMillisecond);
+  // Deliberately BELOW TIME_WAIT (500ms): close-handshake stragglers then
+  // arrive after the filter retired and used to re-fault a dead flow's
+  // filter back in — a permanent leak. The NIC's dead-flow memory now
+  // suppresses those refaults, so even a short linger must leak nothing.
+  tb->server_nic.set_fin_retire_linger(150 * sim::kMillisecond);
 
   const auto errors_before = client_errors();
   for (int i = 0; i < 8; ++i) {

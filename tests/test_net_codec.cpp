@@ -12,6 +12,7 @@
 #include "net/ipv4.hpp"
 #include "net/packet.hpp"
 #include "net/udp.hpp"
+#include "net/wire.hpp"
 #include "sim/random.hpp"
 
 namespace neat::net {
@@ -84,6 +85,110 @@ TEST(Checksum, DetectsSingleByteCorruption) {
     seg[i] ^= 0xff;
     EXPECT_FALSE(verify_transport_checksum(kA, kB, 6, seg));
   }
+}
+
+namespace {
+/// Independent byte-pair reference implementation (straight RFC 1071 §1):
+/// the production word-wise bulk path is checked against this.
+std::uint16_t reference_checksum(std::span<const std::uint8_t> d) {
+  std::uint64_t s = 0;
+  std::size_t i = 0;
+  for (; i + 1 < d.size(); i += 2) {
+    s += static_cast<std::uint32_t>(d[i]) << 8 | d[i + 1];
+  }
+  if (i < d.size()) s += static_cast<std::uint32_t>(d[i]) << 8;
+  while (s >> 16) s = (s & 0xffff) + (s >> 16);
+  return static_cast<std::uint16_t>(~s);
+}
+}  // namespace
+
+TEST(Checksum, WordwiseFoldCarryBoundary) {
+  // Regression: the word-wise bulk path once folded its 64-bit partial sum
+  // a fixed number of times; sums landing exactly on the 0xffff boundary
+  // could leave an unfolded end-around carry that the 16-bit narrowing
+  // silently dropped (~1/65536 of packets failed verification). Sweep a
+  // saturated buffer's last word across the boundary region so every carry
+  // pattern is exercised deterministically.
+  std::vector<std::uint8_t> buf(64, 0xff);
+  for (std::uint32_t k = 0; k < 512; ++k) {
+    buf[62] = static_cast<std::uint8_t>(k >> 8);
+    buf[63] = static_cast<std::uint8_t>(k);
+    ASSERT_EQ(internet_checksum(buf), reference_checksum(buf))
+        << "tail word " << k;
+  }
+  // And an all-saturated buffer at every length that enters the bulk path.
+  for (std::size_t len = 8; len <= 80; ++len) {
+    std::vector<std::uint8_t> ones(len, 0xff);
+    ASSERT_EQ(internet_checksum(ones), reference_checksum(ones))
+        << "length " << len;
+  }
+}
+
+TEST(Checksum, WordwiseMatchesReferenceOnRandomBuffers) {
+  sim::Rng rng(4242);
+  for (int trial = 0; trial < 256; ++trial) {
+    std::vector<std::uint8_t> data(1 + rng.below(300));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    ASSERT_EQ(internet_checksum(data), reference_checksum(data));
+  }
+}
+
+TEST(Checksum, TransportGoldenVectors) {
+  // Hand-computed against an independent implementation: TCP with an
+  // odd-length segment (exercises the pseudo-header + pad rule), UDP even.
+  const std::uint8_t tcp_seg[] = {0x1f, 0x90, 0x00, 0x50,
+                                  0xde, 0xad, 0xbe};
+  EXPECT_EQ(transport_checksum(kA, kB, 6, tcp_seg), 0x2f61);
+  const std::uint8_t udp_seg[] = {0x00, 0x35, 0x04, 0xd2, 0x00,
+                                  0x0a, 0x00, 0x00, 0xca, 0xfe};
+  EXPECT_EQ(transport_checksum(kA, kB, 17, udp_seg), 0x1bd2);
+}
+
+TEST(Checksum, TransportMatchesExplicitPseudoHeaderBytes) {
+  // transport_checksum's add_u16/add_u32 fast paths must agree with
+  // checksumming the literal pseudo-header byte layout (RFC 793 §3.1).
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<std::uint8_t> seg(1 + rng.below(120));
+    for (auto& b : seg) b = static_cast<std::uint8_t>(rng());
+    const std::uint8_t proto = trial % 2 ? 6 : 17;
+    const auto oct = [](Ipv4Addr a, int i) {
+      return static_cast<std::uint8_t>(a.value >> (24 - 8 * i));
+    };
+    std::vector<std::uint8_t> explicit_bytes = {
+        oct(kA, 0), oct(kA, 1), oct(kA, 2), oct(kA, 3),
+        oct(kB, 0), oct(kB, 1), oct(kB, 2), oct(kB, 3),
+        0,          proto,
+        static_cast<std::uint8_t>(seg.size() >> 8),
+        static_cast<std::uint8_t>(seg.size())};
+    explicit_bytes.insert(explicit_bytes.end(), seg.begin(), seg.end());
+    ASSERT_EQ(transport_checksum(kA, kB, proto, seg),
+              reference_checksum(explicit_bytes));
+  }
+}
+
+TEST(Checksum, SingleBitCorruptionAlwaysDetected) {
+  // Ones-complement arithmetic detects every single-bit error (a flip
+  // changes the sum by ±2^k, never 0 mod 0xffff). Exhaustive over a
+  // wire-realistic segment: every one of the 480 bit positions must fail
+  // verification.
+  std::vector<std::uint8_t> seg(60);
+  sim::Rng rng(31337);
+  for (auto& b : seg) b = static_cast<std::uint8_t>(rng());
+  seg[16] = seg[17] = 0;
+  const std::uint16_t sum = transport_checksum(kA, kB, 6, seg);
+  seg[16] = static_cast<std::uint8_t>(sum >> 8);
+  seg[17] = static_cast<std::uint8_t>(sum);
+  ASSERT_TRUE(verify_transport_checksum(kA, kB, 6, seg));
+  for (std::size_t byte = 0; byte < seg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      seg[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      ASSERT_FALSE(verify_transport_checksum(kA, kB, 6, seg))
+          << "byte " << byte << " bit " << bit;
+      seg[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+  ASSERT_TRUE(verify_transport_checksum(kA, kB, 6, seg));
 }
 
 // ---------------------------------------------------------------------------
@@ -346,6 +451,33 @@ TEST(Udp, ChecksumCorruptionRejected) {
   h.encode(*p, kA, kB);
   p->bytes()[UdpHeader::kSize + 2] ^= 0x5a;
   EXPECT_FALSE(UdpHeader::decode(*p, kA, kB));
+}
+
+TEST(Udp, AllZeroChecksumTransmittedAsFFFF) {
+  // RFC 768: a computed checksum of zero is transmitted as all-ones
+  // (0x0000 on the wire means "no checksum"). The payload below is crafted
+  // so the pseudo-header sum folds to exactly 0xffff -> checksum 0.
+  auto p = Packet::make(2);
+  p->bytes()[0] = 0xeb;
+  p->bytes()[1] = 0xd7;
+  UdpHeader h;  // ports 0/0
+  h.encode(*p, kA, kB);
+  EXPECT_EQ(get_u16(p->bytes(), 6), 0xffff)
+      << "zero checksum must be sent as 0xffff";
+  EXPECT_TRUE(UdpHeader::decode(*p, kA, kB));
+}
+
+TEST(Udp, ZeroWireChecksumSkipsVerification) {
+  // 0x0000 in the checksum field means the sender didn't checksum the
+  // datagram; the receiver must accept it unverified.
+  auto p = Packet::make(4);
+  for (std::size_t i = 0; i < 4; ++i) p->bytes()[i] = std::uint8_t(i);
+  UdpHeader h;
+  h.src_port = 7;
+  h.dst_port = 8;
+  h.encode(*p, kA, kB);
+  put_u16(p->bytes(), 6, 0);  // sender opted out of checksumming
+  EXPECT_TRUE(UdpHeader::decode(*p, kA, kB));
 }
 
 TEST(Udp, MuxRoutesByPort) {

@@ -235,6 +235,39 @@ TEST(FilterRetirement, FinRetiresTrackingFiltersAfterLinger) {
   EXPECT_GT(tb.server_nic.stats().filters_retired, 0u);
 }
 
+TEST(FilterRetirement, ShortLingerDoesNotLeakViaStragglerRefault) {
+  // Regression: with fin_retire_linger < TIME_WAIT (500ms), the filter
+  // retires while the close handshake's stragglers (peer FIN/final ACK)
+  // are still arriving. Those used to hit the refault path and re-install
+  // the dead flow's filter — which nothing ever retired again. The NIC's
+  // dead-flow memory must suppress exactly those refaults.
+  Testbed::Config cfg;
+  cfg.seed = 2025;
+  cfg.server_nic.fin_retire_linger = 100 * sim::kMillisecond;
+  Testbed tb(cfg);
+  NeatServerOptions so;
+  so.replicas = 2;
+  so.webs = 2;
+  so.tracking_filters = true;
+  ServerRig server = build_neat_server(tb, so);
+  ClientOptions co;
+  co.generators = 2;
+  co.concurrency_per_gen = 8;
+  co.requests_per_conn = 5;
+  co.max_conns = 50;
+  ClientRig client = build_client(tb, co, 2);
+  prepopulate_arp(server, client);
+
+  tb.sim.run_for(400 * sim::kMillisecond);
+  EXPECT_GT(tb.server_nic.stats().filters_installed, 0u);
+
+  // Idle long enough for every linger and the dead-flow memory to run out.
+  tb.sim.run_for(2500 * sim::kMillisecond);
+  EXPECT_EQ(tb.server_nic.flow_filter_count(), 0u)
+      << "straggler refaults must not resurrect retired filters";
+  EXPECT_GT(tb.server_nic.stats().filters_retired, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // AutoScaler observability export
 // ---------------------------------------------------------------------------
