@@ -36,11 +36,12 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
   echo "== sanitizer pass skipped =="
 else
-  echo "== sanitizer pass: ASan+UBSan on test_ipc / test_obs / test_chaos / test_workload / test_udp_e2e / test_defense / ext_perf / ext_workloads / ext_defense =="
+  echo "== sanitizer pass: ASan+UBSan on test_ipc / test_obs / test_chaos / test_workload / test_udp_e2e / test_defense / test_fleet / ext_perf / ext_workloads / ext_defense / ext_fleet =="
   cmake -B build-asan -S . -DNEAT_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$JOBS" \
     --target test_ipc test_obs test_chaos test_fastpath test_workload \
-             test_udp_e2e test_defense ext_perf ext_workloads ext_defense
+             test_udp_e2e test_defense test_fleet ext_perf ext_workloads \
+             ext_defense ext_fleet
   ./build-asan/tests/test_ipc
   ./build-asan/tests/test_obs
   ./build-asan/tests/test_chaos
@@ -53,11 +54,15 @@ else
   # The migration churn soak must leak no filters or sockets — that claim
   # only means something with ASan watching the teardown.
   ./build-asan/tests/test_defense
+  # Cross-host extract/adopt moves sockets between whole hosts; ASan must
+  # see every checkpoint buffer and husk fd die exactly once.
+  ./build-asan/tests/test_fleet
   # One short end-to-end pass over the pooled data path under ASan: buffer
   # recycling must be invisible to the sanitizer.
   (cd build-asan/bench && ./ext_perf --quick)
   (cd build-asan/bench && ./ext_workloads --quick)
   (cd build-asan/bench && ./ext_defense --quick)
+  (cd build-asan/bench && ./ext_fleet --quick)
 fi
 
 echo "== defense gate: ext_defense --quick vs the >=5x goodput-ratio floor =="
@@ -78,6 +83,9 @@ if not j["defense_ok"]:
     sys.exit(1)
 print("defense gate passed")
 EOF
+
+echo "== fleet gate: ext_fleet --quick (crash isolation within 5%) =="
+(cd build/bench && ./ext_fleet --quick)
 
 if [[ "$RUN_PERF" == 1 ]]; then
   echo "== perf gate: ext_perf vs committed BENCH_ext_perf.json =="

@@ -1,0 +1,80 @@
+// Fleet-level automatic scaling: the cluster analogue of the per-host
+// AutoScaler (§3.4 applied recursively).
+//
+// Each backend host keeps its own AutoScaler driving replica counts
+// against that machine's spare cores; the FleetAutoScaler sits above them,
+// watches the fleet-mean utilization, and scales the HOST set — activating
+// a warm standby into the maglev table when the fleet runs hot, draining
+// the coldest backend into the coldest survivor (cross-host live
+// migration) when it runs cold. A drained host leaves the table but stays
+// built: it is the next standby.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fleet/cluster.hpp"
+#include "neat/autoscaler.hpp"
+
+namespace neat::fleet {
+
+struct FleetScalePolicy {
+  /// Activate a standby when fleet-mean utilization exceeds this.
+  double host_up_threshold{0.80};
+  /// Drain the coldest backend when fleet-mean drops below this (and more
+  /// than min_hosts are in the table).
+  double host_down_threshold{0.25};
+  std::size_t min_hosts{1};
+  sim::SimTime period{100 * sim::kMillisecond};
+  /// Settle time after a host-level action before acting again (longer
+  /// than the per-host cooldown: host moves are coarser).
+  sim::SimTime cooldown{500 * sim::kMillisecond};
+  /// Per-host replica scaling, run by this object on every backend. With
+  /// per_host_scaling false the per-host scalers still run as utilization
+  /// samplers but never act.
+  AutoScaler::Policy per_host{};
+  bool per_host_scaling{true};
+};
+
+class FleetAutoScaler {
+ public:
+  FleetAutoScaler(FleetCluster& fleet, FleetScalePolicy policy);
+  FleetAutoScaler(FleetCluster& fleet)
+      : FleetAutoScaler(fleet, FleetScalePolicy{}) {}
+  ~FleetAutoScaler();
+
+  FleetAutoScaler(const FleetAutoScaler&) = delete;
+  FleetAutoScaler& operator=(const FleetAutoScaler&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t host_activations() const {
+    return host_activations_;
+  }
+  [[nodiscard]] std::uint64_t host_drains() const { return host_drains_; }
+  [[nodiscard]] double last_fleet_utilization() const { return last_util_; }
+
+  /// The per-host replica scaler of backend `i` (samples even when
+  /// per_host_scaling is off).
+  [[nodiscard]] AutoScaler& host_scaler(std::size_t i) {
+    return *per_host_[i];
+  }
+
+ private:
+  void tick();
+
+  FleetCluster& fleet_;
+  FleetScalePolicy policy_;
+  std::vector<std::unique_ptr<AutoScaler>> per_host_;  // index == backend idx
+  sim::EventHandle timer_;
+  bool running_{false};
+  bool drain_in_flight_{false};
+  sim::SimTime last_action_{0};
+  double last_util_{0.0};
+  std::uint64_t host_activations_{0};
+  std::uint64_t host_drains_{0};
+};
+
+}  // namespace neat::fleet

@@ -1,0 +1,82 @@
+// Maglev-style consistent-hash steering table (Eisenbud et al., NSDI'16).
+//
+// The fleet tier steers flows to backend hosts exactly the way a NEaT host's
+// NIC steers flows to replicas, one level up: a hash of the 4-tuple indexes
+// a fixed-size lookup table whose entries name backend hosts. The table is
+// built from per-backend preference permutations so that
+//   * load spreads near-evenly (each backend owns ~M/N of the M entries),
+//   * removing a backend disturbs ONLY that backend's entries — survivors
+//     keep every slot they had (we re-fill orphaned slots with the standard
+//     population walk constrained to survivors' remaining preferences),
+//   * adding a backend rebuilds from scratch (standard maglev): the newcomer
+//     takes ~M/N entries spread across all incumbents.
+//
+// Like the NIC's tracking filters, the tier additionally pins established
+// flows with a connection-tracking map, so even the (bounded) disruption of
+// a table change never moves a live connection; the table decides *new*
+// flows only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/addr.hpp"
+
+namespace neat::fleet {
+
+/// splitmix64 — the repo-wide cheap mixer (same finalizer FlowKeyHash uses).
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+class MaglevTable {
+ public:
+  /// Table sizes must be prime (each backend's skip is then coprime with M,
+  /// so its preference permutation visits every slot). 4099 entries give a
+  /// ≤ ~1% load imbalance for fleets of up to a few dozen backends.
+  static constexpr std::size_t kDefaultTableSize = 4099;
+
+  explicit MaglevTable(std::size_t table_size = kDefaultTableSize);
+
+  /// Add a backend (id must be fresh). Standard maglev rebuild: every
+  /// backend's share moves a little to make room for the newcomer.
+  void add_backend(int id);
+
+  /// Remove a backend. Constrained re-fill: survivors keep every entry they
+  /// already own; only the removed backend's former entries are reassigned.
+  /// Disruption is therefore exactly the removed backend's share (~M/N).
+  void remove_backend(int id);
+
+  [[nodiscard]] bool has_backend(int id) const;
+  [[nodiscard]] std::size_t backend_count() const { return backends_.size(); }
+  [[nodiscard]] std::vector<int> backends() const;
+
+  /// Backend for a flow; -1 when the table is empty.
+  [[nodiscard]] int lookup(const net::FlowKey& flow) const;
+  [[nodiscard]] int lookup_hash(std::uint64_t hash) const;
+
+  /// Raw table (tests: golden vectors, balance and disruption bounds).
+  [[nodiscard]] const std::vector<int>& entries() const { return table_; }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  /// The flow hash the tier steers by (exposed for tests).
+  [[nodiscard]] static std::uint64_t flow_hash(const net::FlowKey& flow);
+
+ private:
+  struct Backend {
+    int id{0};
+    std::size_t offset{0};  ///< permutation start: h1(id) % M
+    std::size_t skip{0};    ///< permutation stride: h2(id) % (M-1) + 1
+  };
+
+  /// Standard maglev population walk over the current backend set, filling
+  /// only unassigned (-1) slots. With a fully cleared table this is the
+  /// canonical build; with survivors' entries pre-kept it is the
+  /// constrained fill that bounds removal disruption.
+  void fill_unassigned();
+
+  std::vector<Backend> backends_;  ///< sorted by id: the table is a function
+                                   ///< of the backend *set*, not join order
+  std::vector<int> table_;
+};
+
+}  // namespace neat::fleet

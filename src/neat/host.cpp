@@ -42,6 +42,7 @@ NeatHost::NeatHost(sim::Simulator& sim, sim::Machine& machine, nic::Nic& nic,
       syscall_(std::make_unique<SyscallServer>(sim, config.costs)),
       os_proc_(std::make_unique<OsProcess>(sim)),
       rng_(sim.rng().split(0x4057)) {
+  if (config_.hub != nullptr) nic_.bind_hub(config_.hub);
   if (config_.smartnic_offload) driver_->set_hardware_offload(true);
   supervisor_ = std::make_unique<Supervisor>(*this, config_.supervision);
   supervisor_->watch_driver();
@@ -59,13 +60,13 @@ StackReplica& NeatHost::add_replica(
   if (config_.kind == Config::Kind::kSingle) {
     auto r = std::make_unique<SingleComponentReplica>(
         sim_, id, queue, *driver_, nic_.mac(), nic_.ip(), config_.costs,
-        config_.tcp);
+        config_.tcp, config_.hub);
     r->pin(*pins[0]);
     rep = std::move(r);
   } else {
     auto r = std::make_unique<MultiComponentReplica>(
         sim_, id, queue, *driver_, nic_.mac(), nic_.ip(), config_.costs,
-        config_.tcp);
+        config_.tcp, config_.hub);
     sim::HwThread* tcp_pin = pins[0];
     sim::HwThread* ip_pin = pins.size() > 1 ? pins[1] : pins[0];
     sim::HwThread* udp_pin = pins.size() > 2 ? pins[2] : ip_pin;
@@ -98,7 +99,7 @@ StackReplica& NeatHost::add_replica(
 }
 
 void NeatHost::note_replica_census() {
-  auto& m = sim_.metrics();
+  auto& m = metrics();
   const double active = static_cast<double>(active_replicas().size());
   const double serving = static_cast<double>(serving_replicas().size());
   // Keyed per host: two hosts sharing one simulator (server + workload
@@ -285,10 +286,10 @@ void NeatHost::migrate_connections(StackReplica& from, StackReplica& to,
             l->on_connections_migrated(*src, *dst, *adopted);
           }
           const sim::SimTime blackout = self->sim_.now() - t0;
-          self->sim_.metrics()
+          self->metrics()
               .histogram("neat.migration_blackout_ns")
               .record(blackout);
-          self->sim_.metrics().counter("neat.migrations").inc();
+          self->metrics().counter("neat.migrations").inc();
           self->sim_.tracer().emit(
               {self->sim_.now(), 0, "neat", "migrate_done", 0, src->id(),
                "\"to\":" + std::to_string(dst->id()) + ",\"conns\":" +
@@ -324,7 +325,7 @@ void NeatHost::gc_tick() {
       r->terminated = true;
       retire_queue(r->queue());
       for (auto* p : r->processes()) p->crash();
-      sim_.metrics().counter("neat.lazy_terminations").inc();
+      metrics().counter("neat.lazy_terminations").inc();
       note_replica_census();
     }
   }
@@ -380,6 +381,27 @@ void NeatHost::inject_crash(StackReplica& replica, Component component) {
       std::string_view(replica.kind()) == "single") {
     driver_->deactivate_endpoint(replica.queue());
   }
+}
+
+void NeatHost::power_off() {
+  if (powered_off_) return;
+  powered_off_ = true;
+  sim_.tracer().emit({sim_.now(), 0, "neat", "power_off", 0, -1,
+                      "\"host\":" + std::to_string(config_.host_id)});
+  // Supervision first: with the watchdogs and pending restart timers gone,
+  // nothing can resurrect any of the processes we are about to kill.
+  supervisor_->shutdown();
+  gc_timer_.cancel();
+  for (auto& r : replicas_) {
+    r->terminated = true;
+    for (auto* p : r->processes()) {
+      if (!p->crashed()) p->crash();
+    }
+  }
+  if (!driver_->crashed()) driver_->crash();
+  if (!syscall_->crashed()) syscall_->crash();
+  if (!os_proc_->crashed()) os_proc_->crash();
+  note_replica_census();
 }
 
 void NeatHost::inject_driver_crash() {
@@ -531,7 +553,7 @@ void NeatHost::note_first_service(StackReplica& replica) {
   RecoveryEvent& ev = recovery_log_[it->second];
   awaiting_first_service_.erase(it);
   ev.first_service_at = sim_.now();
-  sim_.metrics()
+  metrics()
       .histogram("recovery.crash_to_first_service_ns")
       .record(ev.first_service_latency());
   sim_.tracer().emit({sim_.now(), 0, "neat", "first_service", 0,

@@ -68,6 +68,15 @@ class ReplicaFailureListener {
     (void)to;
     (void)adopted;
   }
+  /// Established connections left this HOST entirely (cross-host drain in
+  /// the fleet layer): there is no local target replica, the listed flows
+  /// now live on another machine. Libraries deliver kMigratedAway upward
+  /// so applications drop the dead fds. Defaulted like the hook above.
+  virtual void on_connections_departed(StackReplica& from,
+                                       const std::vector<net::FlowKey>& flows) {
+    (void)from;
+    (void)flows;
+  }
 };
 
 /// One durable listen() record; replayed onto replicas after restart and
@@ -154,6 +163,14 @@ class NeatHost {
     /// Watchdog/restart/quarantine policy; restart_delay above is the
     /// backoff base.
     SupervisionConfig supervision{};
+
+    /// Per-host observability hub. When set, everything this host records —
+    /// replica TCP metrics, NIC steering counters, recovery latencies,
+    /// census gauges — lands on this hub instead of the simulator-global
+    /// one, giving each host of a fleet its own metric namespace (the
+    /// fleet layer merges them for fleet percentiles). nullptr keeps the
+    /// single-host behaviour: everything on sim.obs().
+    obs::Hub* hub{nullptr};
   };
 
   NeatHost(sim::Simulator& sim, sim::Machine& machine, nic::Nic& nic,
@@ -172,6 +189,13 @@ class NeatHost {
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const StackCosts& costs() const { return config_.costs; }
   [[nodiscard]] net::Ipv4Addr ip() const { return nic_.ip(); }
+
+  /// This host's obs hub (the per-host override, or the simulator-global
+  /// hub when none was configured).
+  [[nodiscard]] obs::Hub& hub() {
+    return config_.hub != nullptr ? *config_.hub : sim_.obs();
+  }
+  [[nodiscard]] obs::Registry& metrics() { return hub().metrics; }
 
   /// Spawn a replica; `pins` are the hardware threads for its processes —
   /// single-component: [stack]; multi-component: [tcp, ip] (UDP and PF are
@@ -230,6 +254,15 @@ class NeatHost {
   /// Crash the NIC driver; detection/restart via the supervisor (§3.5).
   void inject_driver_crash();
 
+  /// Power the whole host off, permanently: supervision stops (nothing is
+  /// ever restarted), every process — replicas, driver, SYSCALL server,
+  /// OS — crashes, and the GC timer is cancelled. From the wire the host
+  /// simply goes silent; the fleet's health prober must *detect* that,
+  /// exactly as the per-host supervisor detects a replica crash. There is
+  /// no power_on: a crashed fleet host is replaced, not revived.
+  void power_off();
+  [[nodiscard]] bool powered_off() const { return powered_off_; }
+
   [[nodiscard]] Supervisor& supervisor() { return *supervisor_; }
 
   // --- recovery mechanics (invoked by the Supervisor) ------------------------
@@ -282,6 +315,14 @@ class NeatHost {
     std::erase(listeners_, l);
   }
 
+  /// Fleet layer: tell the socket libraries on this host that `flows` were
+  /// extracted from `from` and now live on another machine (cross-host
+  /// drain). Fans out to on_connections_departed on every listener.
+  void notify_connections_departed(StackReplica& from,
+                                   const std::vector<net::FlowKey>& flows) {
+    for (auto* l : listeners_) l->on_connections_departed(from, flows);
+  }
+
   /// Re-program the NIC indirection to the current active-replica set.
   void update_steering();
 
@@ -316,6 +357,7 @@ class NeatHost {
   std::vector<net::TcpCheckpoint> checkpoints_;
   sim::Rng rng_;
   sim::EventHandle gc_timer_;
+  bool powered_off_{false};
 };
 
 }  // namespace neat

@@ -122,12 +122,13 @@ void IpLayer::reset() {
 SingleComponentReplica::SingleComponentReplica(
     sim::Simulator& sim, int id, int queue, drv::NicDriver& driver,
     net::MacAddr mac, net::Ipv4Addr ip, StackCosts costs,
-    net::TcpConfig tcp_cfg)
+    net::TcpConfig tcp_cfg, obs::Hub* hub)
     : sim::Process(sim, "neat" + std::to_string(id)),
       StackReplica(id, queue,
                    sim.rng().split(0xa5172 + static_cast<std::uint64_t>(id))()),
       costs_(costs),
       rng_(sim.rng().split(0x5e9 + static_cast<std::uint64_t>(id))),
+      hub_(hub),
       driver_(&driver),
       tx_port_(driver.make_tx_port()),
       rx_ch_(
@@ -310,6 +311,11 @@ void TcpComponent::on_flow_established(const net::FlowKey& key) {
   deferred_filter_install(owner_.driver_, key, owner_.queue());
 }
 
+obs::Hub* TcpComponent::obs_hub() {
+  obs::Hub* hub = owner_.hub_override();
+  return hub != nullptr ? hub : &sim().obs();
+}
+
 void TcpComponent::on_crash() { tcp_stack_.destroy_all_state(); }
 
 IpComponent::IpComponent(sim::Simulator& sim, MultiComponentReplica& owner,
@@ -368,10 +374,11 @@ FilterComponent::FilterComponent(sim::Simulator& sim, std::string name)
 MultiComponentReplica::MultiComponentReplica(
     sim::Simulator& sim, int id, int queue, drv::NicDriver& driver,
     net::MacAddr mac, net::Ipv4Addr ip, StackCosts costs,
-    net::TcpConfig tcp_cfg)
+    net::TcpConfig tcp_cfg, obs::Hub* hub)
     : StackReplica(id, queue,
                    sim.rng().split(0xa5173 + static_cast<std::uint64_t>(id))()),
       costs_(costs),
+      hub_(hub),
       driver_(&driver) {
   const std::string base = "multi" + std::to_string(id);
   drv_tx_ = driver.make_tx_port();

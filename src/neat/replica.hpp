@@ -148,10 +148,12 @@ class SingleComponentReplica final : public sim::Process,
                                      public net::TcpEnv,
                                      public StackReplica {
  public:
+  /// `hub` overrides the simulator-global obs hub (per-host metric
+  /// namespaces in a fleet); nullptr keeps the global one.
   SingleComponentReplica(sim::Simulator& sim, int id, int queue,
                          drv::NicDriver& driver, net::MacAddr mac,
                          net::Ipv4Addr ip, StackCosts costs,
-                         net::TcpConfig tcp_cfg);
+                         net::TcpConfig tcp_cfg, obs::Hub* hub = nullptr);
 
   // StackReplica
   net::TcpStack& tcp() override { return tcp_stack_; }
@@ -176,7 +178,9 @@ class SingleComponentReplica final : public sim::Process,
   std::uint32_t random_u32() override {
     return static_cast<std::uint32_t>(rng_());
   }
-  obs::Hub* obs_hub() override { return &sim().obs(); }
+  obs::Hub* obs_hub() override {
+    return hub_ != nullptr ? hub_ : &sim().obs();
+  }
   void on_flow_established(const net::FlowKey& key) override;
 
   [[nodiscard]] IpLayer& ip_layer() { return ip_; }
@@ -193,6 +197,7 @@ class SingleComponentReplica final : public sim::Process,
 
   StackCosts costs_;
   sim::Rng rng_;
+  obs::Hub* hub_;  // per-host hub override; nullptr = simulator-global
   drv::NicDriver* driver_;  // deferred-filter installs go through here
   drv::NicDriver::TxPort tx_port_;     // → driver (or NIC, when offloaded)
   ipc::Channel<net::PacketPtr> rx_ch_;  // driver → this
@@ -226,7 +231,7 @@ class TcpComponent final : public sim::Process, public net::TcpEnv {
   std::uint32_t random_u32() override {
     return static_cast<std::uint32_t>(rng_());
   }
-  obs::Hub* obs_hub() override { return &sim().obs(); }
+  obs::Hub* obs_hub() override;  // the owning replica's hub (see cpp)
   void on_flow_established(const net::FlowKey& key) override;
 
  protected:
@@ -302,10 +307,13 @@ class FilterComponent final : public sim::Process {
 /// Assembly of the four processes + the channels between them.
 class MultiComponentReplica final : public StackReplica {
  public:
+  /// `hub` as for SingleComponentReplica: per-host obs override.
   MultiComponentReplica(sim::Simulator& sim, int id, int queue,
                         drv::NicDriver& driver, net::MacAddr mac,
                         net::Ipv4Addr ip, StackCosts costs,
-                        net::TcpConfig tcp_cfg);
+                        net::TcpConfig tcp_cfg, obs::Hub* hub = nullptr);
+
+  [[nodiscard]] obs::Hub* hub_override() const { return hub_; }
 
   net::TcpStack& tcp() override { return tcp_proc_->stack(); }
   sim::Process& tcp_process() override { return *tcp_proc_; }
@@ -342,6 +350,7 @@ class MultiComponentReplica final : public StackReplica {
   };
 
   StackCosts costs_;
+  obs::Hub* hub_;  // per-host hub override; nullptr = simulator-global
   drv::NicDriver* driver_;  // deferred-filter installs go through here
   drv::NicDriver::TxPort drv_tx_;
   std::unique_ptr<TcpComponent> tcp_proc_;

@@ -60,6 +60,14 @@ void Supervisor::watch_driver() {
   watches_.push_back(std::move(w));
 }
 
+void Supervisor::shutdown() {
+  for (auto& w : watches_) {
+    w->restart_timer.cancel();
+    w->dog.reset();  // dtor cancels the probe timer
+  }
+  watches_.clear();
+}
+
 int Supervisor::consecutive_crashes(const StackReplica& r) const {
   auto it = replica_loop_.find(r.id());
   return it == replica_loop_.end() ? 0 : it->second.consecutive;
@@ -111,8 +119,7 @@ void Supervisor::on_silent(Watch& w, sim::SimTime silent_for) {
   const sim::SimTime lat = host_.event(idx).detection_latency();
   stats_.detection_latency_total += lat;
   stats_.detection_latency_max = std::max(stats_.detection_latency_max, lat);
-  host_.simulator().metrics().histogram("recovery.crash_to_detect_ns")
-      .record(lat);
+  host_.metrics().histogram("recovery.crash_to_detect_ns").record(lat);
   if (w.replica == nullptr) {
     handle_driver_death(w, idx);
   } else {
@@ -188,7 +195,7 @@ void Supervisor::complete_replica_restart(Watch& w, std::size_t event_idx) {
   ++stats_.restarts;
   replica_loop_[rep.id()].last_recover = host_.simulator().now();
   sim::Simulator& sim = host_.simulator();
-  sim.metrics().histogram("recovery.crash_to_recovered_ns")
+  host_.metrics().histogram("recovery.crash_to_recovered_ns")
       .record(ev.recovery_latency());
   sim.tracer().emit({sim.now(), 0, "neat", "restart", 0, rep.id(),
                      "\"since_crash_ns\":" +
@@ -227,7 +234,7 @@ void Supervisor::complete_driver_restart(Watch& w, std::size_t event_idx) {
   ++stats_.driver_restarts;
   driver_loop_.last_recover = host_.simulator().now();
   sim::Simulator& sim = host_.simulator();
-  sim.metrics().histogram("recovery.crash_to_recovered_ns")
+  host_.metrics().histogram("recovery.crash_to_recovered_ns")
       .record(ev.recovery_latency());
   sim.tracer().emit({sim.now(), 0, "neat", "restart", 0, -1,
                      "\"component\":\"nicdrv\",\"since_crash_ns\":" +

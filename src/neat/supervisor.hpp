@@ -95,6 +95,11 @@ class Supervisor {
   /// Begin monitoring the NIC driver process.
   void watch_driver();
 
+  /// Stop ALL supervision permanently: cancel pending backoff restarts,
+  /// disarm every watchdog, drop every watch. Used by NeatHost::power_off —
+  /// a powered-off host must stay down, so nothing may fire after this.
+  void shutdown();
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const SupervisionConfig& config() const { return cfg_; }
 

@@ -853,14 +853,7 @@ std::uint16_t TcpStack::ephemeral_port() {
     const std::uint16_t p = next_ephemeral_;
     next_ephemeral_ =
         next_ephemeral_ >= 65535 ? 49152 : next_ephemeral_ + 1;
-    bool used = false;
-    for (const auto& [key, sock] : conns_) {
-      if (key.local_port == p) {
-        used = true;
-        break;
-      }
-    }
-    if (!used) return p;
+    if (port_use_[p] == 0) return p;
   }
   return 0;
 }
@@ -872,7 +865,7 @@ TcpSocketPtr TcpStack::connect(SockAddr remote, std::uint16_t local_port,
   FlowKey key{local_ip_, local_port, remote.ip, remote.port};
   if (conns_.contains(key)) return nullptr;
   auto sock = std::make_shared<TcpSocket>(*this, key, cfg_);
-  conns_[key] = sock;
+  insert_conn(key, sock);
   if (!defer_syn) sock->start_active_open();
   return sock;
 }
@@ -913,7 +906,7 @@ void TcpStack::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt) {
       }
       if (l.accept_q_.size() + pending_handshakes_ < l.backlog_) {
         auto sock = std::make_shared<TcpSocket>(*this, key, cfg_);
-        conns_[key] = sock;
+        insert_conn(key, sock);
         ++pending_handshakes_;
         sock->start_passive_open(*h);
       } else {
@@ -996,7 +989,7 @@ bool TcpStack::try_cookie_accept(const TcpHeader& h, const FlowKey& key,
     return false;
   }
   auto sock = std::make_shared<TcpSocket>(*this, key, cfg_);
-  conns_[key] = sock;
+  insert_conn(key, sock);
   sock->iss_ = cookie;
   sock->snd_una_ = cookie + 1;
   sock->snd_nxt_ = cookie + 1;
@@ -1084,7 +1077,7 @@ void TcpStack::send_rst_for(const TcpHeader& h, Ipv4Addr src, Ipv4Addr dst,
   env_.tx(std::move(pkt), dst, src);
 }
 
-void TcpStack::socket_closed(TcpSocket& s) { conns_.erase(s.flow()); }
+void TcpStack::socket_closed(TcpSocket& s) { erase_conn(s.flow()); }
 
 std::size_t TcpStack::active_connection_count() const {
   std::size_t n = 0;
@@ -1178,7 +1171,7 @@ TcpCheckpoint TcpStack::extract_for_migration() {
     sock->rto_deadline_ = 0;
     sock->ack_timer_.cancel();
     sock->time_wait_timer_.cancel();
-    conns_.erase(sock->flow_);
+    erase_conn(sock->flow_);
   }
   return cp;
 }
@@ -1210,7 +1203,7 @@ std::vector<TcpSocketPtr> TcpStack::adopt(const TcpCheckpoint& cp) {
     }
     sock->fin_seen_ = s.fin_seen;
     sock->fin_rcv_seq_ = s.fin_rcv_seq;
-    conns_[s.flow] = sock;
+    insert_conn(s.flow, sock);
     if (sock->inflight() > 0) sock->arm_rto();
     // Un-transmitted send-ring bytes must not wait for an inbound event
     // that may never come (the peer could be idle, waiting for us).
@@ -1248,7 +1241,7 @@ std::vector<TcpSocketPtr> TcpStack::restore(const TcpCheckpoint& cp) {
     sock->peer_mss_ = s.peer_mss;
     sock->send_ring_.write(s.send_buf);
     sock->recv_ring_.write(s.recv_buf);
-    conns_[s.flow] = sock;
+    insert_conn(s.flow, sock);
     restored.push_back(sock);
     sock->try_output();
     // Tell the peer where we stand; a peer that advanced past our
@@ -1262,6 +1255,7 @@ std::vector<TcpSocketPtr> TcpStack::restore(const TcpCheckpoint& cp) {
 void TcpStack::destroy_all_state() {
   auto conns = std::move(conns_);
   conns_.clear();
+  std::fill(port_use_.begin(), port_use_.end(), 0);
   listeners_.clear();
   migrated_out_.clear();
   pending_handshakes_ = 0;

@@ -556,12 +556,24 @@ class TcpStack {
     if (pending_handshakes_ > 0) --pending_handshakes_;
   }
   std::uint16_t ephemeral_port();
+  /// All conns_ insert/erase goes through these so port_use_ stays exact.
+  void insert_conn(const FlowKey& key, TcpSocketPtr sock) {
+    conns_[key] = std::move(sock);
+    ++port_use_[key.local_port];
+  }
+  void erase_conn(const FlowKey& key) {
+    if (conns_.erase(key) > 0) --port_use_[key.local_port];
+  }
 
   TcpEnv& env_;
   Ipv4Addr local_ip_;
   TcpConfig cfg_;
   TcpStats stats_;
   std::unordered_map<FlowKey, TcpSocketPtr, FlowKeyHash> conns_;
+  /// Connections per local port. Makes ephemeral allocation O(1) — the
+  /// old scan over conns_ was O(n) per connect, quadratic over a ramp,
+  /// which melts at fleet scale (hundreds of thousands of client flows).
+  std::vector<std::uint32_t> port_use_ = std::vector<std::uint32_t>(65536, 0);
   /// Flows extracted for migration: stale frames still in this replica's
   /// RX channel must be dropped, not RST'd (erased if the flow returns).
   std::unordered_set<FlowKey, FlowKeyHash> migrated_out_;

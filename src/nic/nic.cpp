@@ -84,7 +84,7 @@ void Nic::evict_one_filter() {
   lru_.erase(victim);
   ++stats_.filters_evicted;
   if (evict_counter_ == nullptr) {
-    evict_counter_ = &sim_.metrics().counter("nic.filter_evictions");
+    evict_counter_ = &metrics_registry().counter("nic.filter_evictions");
   }
   evict_counter_->inc();
 }
@@ -278,7 +278,8 @@ void Nic::receive(net::PacketPtr frame) {
         } else {
           ++stats_.filters_refaulted;
           if (refault_counter_ == nullptr) {
-            refault_counter_ = &sim_.metrics().counter("nic.filter_refaults");
+            refault_counter_ =
+                &metrics_registry().counter("nic.filter_refaults");
           }
           refault_counter_->inc();
           add_flow_filter(flow->key, queue);
@@ -319,7 +320,7 @@ void Nic::receive(net::PacketPtr frame) {
 
 void Nic::note_steering(bool filter_hit, const ParsedFlow& flow, int queue) {
   if (steer_filter_counter_ == nullptr) {
-    auto& m = sim_.metrics();
+    auto& m = metrics_registry();
     steer_filter_counter_ = &m.counter("nic.steer_filter_hit");
     steer_rss_counter_ = &m.counter("nic.steer_rss");
   }

@@ -132,6 +132,12 @@ class Nic {
   void set_rx_coalesce(sim::SimTime window) {
     params_.rx_coalesce_usecs = window;
   }
+
+  /// Record this NIC's counters on `hub` instead of the simulator-global
+  /// registry (per-host observability: fleet clusters give every host its
+  /// own hub). Must be called before the first packet is received — the
+  /// counter handles are cached lazily on first use and never re-resolved.
+  void bind_hub(obs::Hub* hub) { hub_ = hub; }
   [[nodiscard]] const NicStats& stats() const { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
@@ -217,6 +223,11 @@ class Nic {
   /// (the per-flow steering event; tracing every frame would drown the
   /// ring).
   void note_steering(bool filter_hit, const ParsedFlow& flow, int queue);
+  /// Registry the lazily-cached counters resolve against (hub override or
+  /// the simulator-global one).
+  [[nodiscard]] obs::Registry& metrics_registry() {
+    return hub_ != nullptr ? hub_->metrics : sim_.metrics();
+  }
 
   sim::Simulator& sim_;
   net::MacAddr mac_;
@@ -231,6 +242,7 @@ class Nic {
   std::vector<std::uint8_t> rx_irq_armed_;
   std::function<void(int)> rx_notify_;
   Link* link_{nullptr};
+  obs::Hub* hub_{nullptr};  ///< per-host metric hub override (fleet)
 
   struct FlowEntry {
     int queue;

@@ -12,6 +12,7 @@ const char* to_string(CloseReason r) {
     case CloseReason::kTimeout: return "timeout";
     case CloseReason::kRefused: return "refused";
     case CloseReason::kStackFailure: return "stack-failure";
+    case CloseReason::kMigratedAway: return "migrated-away";
   }
   return "?";
 }
@@ -136,6 +137,15 @@ void NeatSocket::fail() {
   if (failed_) return;
   failed_ = true;
   close_reason_ = CloseReason::kStackFailure;
+  raise(kEvClosed);
+}
+
+void NeatSocket::migrated_away() {
+  if (failed_ || closed_delivered_) return;
+  // Reuse the failure plumbing — it detaches the socket from further I/O —
+  // but tell the app the truth: the connection lives on, on another host.
+  failed_ = true;
+  close_reason_ = CloseReason::kMigratedAway;
   raise(kEvClosed);
 }
 

@@ -55,6 +55,12 @@ class NeatSocket : public std::enable_shared_from_this<NeatSocket> {
   /// Replica died with this socket's state: deliver kStackFailure upward.
   void fail();
 
+  /// The connection was extracted and now lives on a DIFFERENT host: the
+  /// local fd has nothing behind it any more. Delivers kMigratedAway so the
+  /// application drops its bookkeeping; no FIN/RST is sent (the connection
+  /// itself is alive — elsewhere).
+  void migrated_away();
+
   /// Stateful recovery: swap in the restored TCP socket (same flow) and
   /// rewire callbacks — the application never notices the crash.
   void reattach(net::TcpSocketPtr tcp);

@@ -25,6 +25,7 @@ enum class CloseReason {
   kTimeout,
   kRefused,
   kStackFailure,  ///< the stack replica holding the socket crashed
+  kMigratedAway,  ///< connection moved to another host; the fd is dead here
 };
 
 [[nodiscard]] const char* to_string(CloseReason r);

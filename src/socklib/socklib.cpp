@@ -279,4 +279,31 @@ void SockLib::on_connections_migrated(
   }
 }
 
+void SockLib::on_connections_departed(
+    StackReplica& from, const std::vector<net::FlowKey>& flows) {
+  // Cross-host drain: the listed flows now live on another machine. The
+  // local sockets are husks — deliver kMigratedAway so the app closes the
+  // fds; no FIN/RST goes out (the connection is alive, elsewhere).
+  for (auto& [fd, sock] : conns_) {
+    if (&sock->replica() != &from) continue;
+    const net::FlowKey flow = sock->tcp().flow();
+    for (const auto& f : flows) {
+      if (f == flow) {
+        sock->migrated_away();
+        break;
+      }
+    }
+  }
+}
+
+Fd SockLib::adopt_socket(StackReplica& replica, net::TcpSocketPtr tcp,
+                         ConnCallbacks cb) {
+  if (!tcp) return kBadFd;
+  const Fd fd = next_fd_++;
+  host_.note_first_service(replica);
+  wire_connection(fd, replica, std::move(tcp), std::move(cb),
+                  /*notify_connect=*/false);
+  return fd;
+}
+
 }  // namespace neat::socklib

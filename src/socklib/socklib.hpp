@@ -49,6 +49,15 @@ class SockLib final : public SocketApi, public ReplicaFailureListener {
   void on_connections_migrated(
       StackReplica& from, StackReplica& to,
       const std::vector<net::TcpSocketPtr>& adopted) override;
+  void on_connections_departed(
+      StackReplica& from, const std::vector<net::FlowKey>& flows) override;
+
+  /// Fleet-layer adoption: wrap a TCP socket that `replica` just adopted
+  /// from another HOST in a fresh fd. The counterpart of
+  /// on_connections_departed on the receiving machine — data already
+  /// buffered in the adopted socket is delivered via cb.on_readable.
+  Fd adopt_socket(StackReplica& replica, net::TcpSocketPtr tcp,
+                  ConnCallbacks cb);
 
   [[nodiscard]] NeatHost& host() { return host_; }
   [[nodiscard]] std::size_t open_sockets() const { return conns_.size(); }

@@ -7,6 +7,10 @@
 #include <memory>
 #include <utility>
 
+#include "fleet/app.hpp"
+#include "fleet/cluster.hpp"
+#include "fleet/fleet_autoscaler.hpp"
+#include "fleet/obs_merge.hpp"
 #include "harness/testbed.hpp"
 #include "socklib/socklib.hpp"
 
@@ -30,9 +34,114 @@ struct ClientSide {
   return static_cast<double>(ns) / 1e6;
 }
 
+/// Multi-host branch of run_scenario(): a FleetCluster behind the steering
+/// tier, PingServers on every backend, FleetClients ramping the connection
+/// population, optional mid-run host crash and fleet autoscaling.
+ScenarioResult run_fleet_scenario(const Scenario& sc) {
+  fleet::FleetConfig fc;
+  fc.seed = sc.seed;
+  fc.backends = sc.fleet_hosts;
+  fc.standbys = sc.fleet_standbys;
+  fc.clients = sc.fleet_clients;
+  fc.replicas_per_backend = sc.fleet_replicas_per_host;
+  fc.replicas_per_client = sc.client_replicas;
+  fleet::FleetCluster fleet(fc);
+
+  std::vector<std::uint16_t> ports;
+  for (int p = 0; p < sc.fleet_ports; ++p) {
+    ports.push_back(static_cast<std::uint16_t>(harness::kBasePort + p));
+  }
+
+  // One PingServer per backend (standbys included: a host entering the
+  // table later must already be listening), one FleetClient per client
+  // machine, everything destroyed before the cluster.
+  std::vector<std::unique_ptr<fleet::PingServer>> servers;
+  for (std::size_t i = 0; i < fleet.backend_count(); ++i) {
+    fleet::FleetHost& b = fleet.backend(i);
+    auto s = std::make_unique<fleet::PingServer>(
+        fleet.sim, "ping" + std::to_string(b.id), *b.host, b.id);
+    s->pin(b.app_thread());
+    s->start(ports);
+    servers.push_back(std::move(s));
+  }
+  fleet.set_adoption_handler(
+      [&servers](fleet::FleetHost& to, StackReplica& rep,
+                 const std::vector<net::TcpSocketPtr>& adopted) {
+        servers[static_cast<std::size_t>(to.id)]->adopt(rep, adopted);
+      });
+
+  std::vector<std::unique_ptr<fleet::FleetClient>> clients;
+  const auto n_clients = static_cast<std::uint64_t>(fleet.client_count());
+  for (std::size_t j = 0; j < fleet.client_count(); ++j) {
+    fleet::FleetHost& c = fleet.client(j);
+    fleet::FleetClient::Config cc;
+    cc.vip = fleet.config().steering.vip;
+    cc.ports = ports;
+    cc.total_conns = sc.fleet_conns / n_clients;
+    auto cl = std::make_unique<fleet::FleetClient>(
+        fleet.sim, "fleetcli" + std::to_string(j), *c.host, cc);
+    cl->pin(c.app_thread());
+    clients.push_back(std::move(cl));
+  }
+
+  std::unique_ptr<fleet::FleetAutoScaler> scaler;
+  if (sc.fleet_autoscale) {
+    scaler = std::make_unique<fleet::FleetAutoScaler>(fleet);
+    scaler->start();
+  }
+  fleet.start_health_probing();
+
+  if (sc.fleet_crash_host >= 0) {
+    const auto victim = static_cast<std::size_t>(sc.fleet_crash_host);
+    fleet.sim.queue().schedule(sc.fleet_crash_at,
+                               [&fleet, victim] { fleet.crash_host(victim); });
+  }
+
+  for (auto& cl : clients) cl->start();
+  fleet.sim.run_for(sc.warmup);
+  for (auto& cl : clients) cl->mark();
+  fleet.sim.run_for(sc.measure);
+
+  // --- collect ------------------------------------------------------------
+  ScenarioResult res;
+  res.name = sc.name;
+  for (std::size_t i = 0; i < fleet.backend_count(); ++i) {
+    if (fleet.steering().has_backend(fleet.backend(i).id)) {
+      ++res.fleet_hosts_up_end;
+    }
+  }
+  for (const auto& cl : clients) {
+    const auto& st = cl->app_stats();
+    res.fleet_established += st.connected;
+    res.fleet_responses += st.responses;
+    res.fleet_lost_conns += st.closed_reset + st.closed_other;
+  }
+  for (const auto& s : servers) {
+    res.fleet_requests_served += s->app_stats().requests;
+  }
+  if (scaler) {
+    res.fleet_host_activations = scaler->host_activations();
+    res.fleet_host_drains = scaler->host_drains();
+    scaler->stop();
+  }
+  res.fleet_backends_declared_down =
+      fleet.steering().stats().backends_declared_down;
+
+  std::vector<const obs::Hub*> client_hubs;
+  for (std::size_t j = 0; j < fleet.client_count(); ++j) {
+    client_hubs.push_back(fleet.client(j).hub.get());
+  }
+  const obs::Histogram rtt =
+      fleet::merged_histogram(client_hubs, "fleet.rtt_ns");
+  res.fleet_rtt_p50_ms = ms(rtt.quantile(0.50));
+  res.fleet_rtt_p99_ms = ms(rtt.quantile(0.99));
+  return res;
+}
+
 }  // namespace
 
 ScenarioResult run_scenario(const Scenario& sc) {
+  if (sc.fleet_hosts > 0) return run_fleet_scenario(sc);
   harness::Testbed::Config cfg;
   cfg.seed = sc.seed;
   harness::Testbed tb(cfg);
@@ -487,6 +596,24 @@ Scenario churn_storm(bool quick) {
   return sc;
 }
 
+Scenario fleet_crash(bool quick) {
+  Scenario sc;
+  sc.name = "fleet_crash";
+  sc.seed = 7;
+  sc.fleet_hosts = quick ? 3 : 4;
+  sc.fleet_clients = 2;
+  sc.fleet_replicas_per_host = 2;
+  sc.fleet_conns = quick ? 4000 : 20000;
+  sc.fleet_ports = 8;
+  sc.warmup = 250 * sim::kMillisecond;
+  sc.measure = quick ? 500 * sim::kMillisecond : 900 * sim::kMillisecond;
+  // Kill one backend mid-window: the prober evicts it, its flows die, every
+  // other backend keeps serving.
+  sc.fleet_crash_host = 0;
+  sc.fleet_crash_at = sc.warmup + 150 * sim::kMillisecond;
+  return sc;
+}
+
 }  // namespace
 
 const std::vector<NamedScenario>& builtin_scenarios() {
@@ -503,6 +630,8 @@ const std::vector<NamedScenario>& builtin_scenarios() {
       {"slowloris", "slow-header connection hoarding", slowloris},
       {"churn_storm", "open/close churn against steering + filters",
        churn_storm},
+      {"fleet_crash", "multi-host cluster: mid-run backend crash behind "
+       "the maglev tier", fleet_crash},
   };
   return kScenarios;
 }
